@@ -1,0 +1,404 @@
+package harmonia
+
+// This file holds one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates its artifact on the simulated
+// platform and reports the headline quantities as custom metrics
+// (b.ReportMetric), so `go test -bench=. -benchmem` prints the full
+// reproduction alongside the runtime cost of regenerating it.
+// EXPERIMENTS.md records one such run next to the paper's numbers.
+
+import (
+	"sync"
+	"testing"
+
+	"harmonia/internal/experiments"
+)
+
+// The experiment environment is shared across benchmarks: predictor
+// training and the five-policy sweep dominate setup cost and the
+// results are deterministic.
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+)
+
+func benchLab(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() { benchEnv = experiments.NewEnv() })
+	return benchEnv
+}
+
+func BenchmarkFig01PowerBreakdown(b *testing.B) {
+	e := benchLab(b)
+	var r experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig1PowerBreakdown(e)
+	}
+	b.ReportMetric(r.GPUShare*100, "gpu-share-%")
+	b.ReportMetric(r.MemShare*100, "mem-share-%")
+	b.ReportMetric(r.OtherShare*100, "other-share-%")
+}
+
+func BenchmarkTable1DVFSTable(b *testing.B) {
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(experiments.Table1DVFS())
+	}
+	b.ReportMetric(float64(n), "dpm-states")
+}
+
+func BenchmarkFig03BalanceCurves(b *testing.B) {
+	e := benchLab(b)
+	var dmKnee, ludKnee float64
+	for i := 0; i < b.N; i++ {
+		dmKnee = experiments.Fig3BalanceCurves(e, "DeviceMemory.Stream").Knee
+		ludKnee = experiments.Fig3BalanceCurves(e, "LUD.Internal").Knee
+	}
+	b.ReportMetric(dmKnee, "devicememory-knee-x")
+	b.ReportMetric(ludKnee, "lud-knee-x")
+}
+
+func BenchmarkFig04ComputePower(b *testing.B) {
+	e := benchLab(b)
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = experiments.Fig4ComputePowerRange(e).Variation
+	}
+	b.ReportMetric(v*100, "variation-%")
+}
+
+func BenchmarkFig05MemoryPower(b *testing.B) {
+	e := benchLab(b)
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = experiments.Fig5MemoryPowerRange(e).Variation
+	}
+	b.ReportMetric(v*100, "variation-%")
+}
+
+func BenchmarkFig06MetricComparison(b *testing.B) {
+	e := benchLab(b)
+	var r experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig6MetricComparison(e)
+	}
+	if row, ok := r.Row("LUD", "energy"); ok {
+		b.ReportMetric(row.Performance*100, "lud-energyopt-perf-%")
+	}
+	if row, ok := r.Row("LUD", "ed2"); ok {
+		b.ReportMetric(row.Performance*100, "lud-ed2opt-perf-%")
+	}
+}
+
+func BenchmarkFig07Occupancy(b *testing.B) {
+	e := benchLab(b)
+	var rows []experiments.Fig7Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig7OccupancyEffect(e)
+	}
+	b.ReportMetric(rows[0].BandwidthSensitivity, "bottomscan-bw-sens")
+	b.ReportMetric(rows[1].BandwidthSensitivity, "advancevelocity-bw-sens")
+}
+
+func BenchmarkFig08Divergence(b *testing.B) {
+	e := benchLab(b)
+	var rows []experiments.Fig8Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig8DivergenceEffect(e)
+	}
+	b.ReportMetric(rows[0].ComputeFreqSensitive, "srad-prepare-freq-sens")
+	b.ReportMetric(rows[1].ComputeFreqSensitive, "bottomscan-freq-sens")
+}
+
+func BenchmarkFig09ClockDomains(b *testing.B) {
+	e := benchLab(b)
+	var r experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig9ClockDomains(e)
+	}
+	b.ReportMetric(r.ICActivity, "ic-activity")
+	b.ReportMetric(r.ComputeFreqSensitivity, "freq-sens")
+}
+
+func BenchmarkTable3SensitivityTraining(b *testing.B) {
+	e := benchLab(b)
+	var r experiments.Table3Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table3Model(e)
+	}
+	b.ReportMetric(r.Bandwidth.Corr, "bw-model-corr")
+	b.ReportMetric(r.Compute.Corr, "comp-model-corr")
+	b.ReportMetric(r.Accuracy.BandwidthMAE, "bw-mae")
+	b.ReportMetric(r.Accuracy.ComputeMAE, "comp-mae")
+}
+
+func BenchmarkFig10ED2(b *testing.B) {
+	e := benchLab(b)
+	var sum experiments.Summary
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, sum, err = experiments.Fig10ED2(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sum.ED2Harmonia*100, "harmonia-ed2-gain-%")
+	b.ReportMetric(sum.ED2CG*100, "cg-ed2-gain-%")
+	b.ReportMetric(sum.ED2Oracle*100, "oracle-ed2-gain-%")
+	b.ReportMetric(sum.BestED2*100, "best-app-ed2-gain-%")
+}
+
+func BenchmarkFig11Energy(b *testing.B) {
+	e := benchLab(b)
+	var sum experiments.Summary
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, sum, err = experiments.Fig11Energy(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sum.EnergySaving*100, "harmonia-energy-saving-%")
+}
+
+func BenchmarkFig12Power(b *testing.B) {
+	e := benchLab(b)
+	var sum experiments.Summary
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, sum, err = experiments.Fig12Power(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sum.PowerSaving*100, "harmonia-power-saving-%")
+}
+
+func BenchmarkFig13Performance(b *testing.B) {
+	e := benchLab(b)
+	var sum experiments.Summary
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, sum, err = experiments.Fig13Performance(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sum.SlowdownHarmonia*100, "harmonia-slowdown-%")
+	b.ReportMetric(sum.WorstCGSlowdown*100, "worst-cg-slowdown-%")
+}
+
+func BenchmarkComputeOnlyDVFS(b *testing.B) {
+	e := benchLab(b)
+	var r experiments.ComputeOnlyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.ComputeOnlyStudy(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.ED2Gain*100, "ed2-gain-%")
+}
+
+func BenchmarkPredictorAccuracy(b *testing.B) {
+	e := benchLab(b)
+	var mae float64
+	for i := 0; i < b.N; i++ {
+		mae = experiments.PredictorAccuracy(e).BandwidthMAE
+	}
+	b.ReportMetric(mae, "bw-mae")
+}
+
+func BenchmarkFig14Graph500Phases(b *testing.B) {
+	e := benchLab(b)
+	var swing float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig14Graph500Phases(e)
+		lo, hi := rows[0].VALUInsts, rows[0].VALUInsts
+		for _, r := range rows {
+			if r.VALUInsts < lo {
+				lo = r.VALUInsts
+			}
+			if r.VALUInsts > hi {
+				hi = r.VALUInsts
+			}
+		}
+		swing = hi / lo
+	}
+	b.ReportMetric(swing, "inst-swing-x")
+}
+
+func BenchmarkFig15Residency(b *testing.B) {
+	e := benchLab(b)
+	var states int
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15MemFreqResidency(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = len(r.Overall)
+	}
+	b.ReportMetric(float64(states), "mem-states")
+}
+
+func BenchmarkFig16TunableResidency(b *testing.B) {
+	e := benchLab(b)
+	var at32 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig16TunableResidency(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at32 = r.CUs[32]
+	}
+	b.ReportMetric(at32*100, "time-at-32cu-%")
+}
+
+func BenchmarkFig17PowerSharing(b *testing.B) {
+	e := benchLab(b)
+	var gpuShare float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig17PowerSharing(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gpuShare = r.GPUSavingsShare
+	}
+	b.ReportMetric(gpuShare*100, "gpu-savings-share-%")
+}
+
+func BenchmarkFig18CGvsFG(b *testing.B) {
+	e := benchLab(b)
+	var fgIncr float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig18CGvsFG(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.App == "Streamcluster" {
+				fgIncr = r.FGIncrement
+			}
+		}
+	}
+	b.ReportMetric(fgIncr*100, "streamcluster-fg-increment-%")
+}
+
+// Ablation benches: the design-choice studies DESIGN.md §6 documents.
+
+func BenchmarkAblationMemVoltageScaling(b *testing.B) {
+	e := benchLab(b)
+	var r experiments.MemVoltageResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.MemVoltageScalingStudy(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.FixedRail*100, "fixed-rail-saving-%")
+	b.ReportMetric(r.ScaledRail*100, "scaled-rail-saving-%")
+}
+
+func BenchmarkAblationObjectiveEDvsED2(b *testing.B) {
+	e := benchLab(b)
+	var r experiments.ObjectiveResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.ObjectiveStudy(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.ED2Gain*100, "ed2-oracle-gain-%")
+	b.ReportMetric(r.EDGain*100, "ed-oracle-gain-%")
+}
+
+func BenchmarkAblationTDPCaps(b *testing.B) {
+	e := benchLab(b)
+	var rows []experiments.TDPRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.TDPStudy(e, []float64{250, 120})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].Slowdown*100, "slowdown-at-120W-%")
+}
+
+func BenchmarkAblationControllerKnobs(b *testing.B) {
+	e := benchLab(b)
+	var rows []experiments.KnobRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ControllerKnobStudy(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].ED2Gain*100, "default-ed2-gain-%")
+}
+
+func BenchmarkExtensionStackedEnvelope(b *testing.B) {
+	e := benchLab(b)
+	var r experiments.StackedResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.StackedEnvelopeStudy(e, 85)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Rows[0].Slowdown*100, "baseline-throttle-slowdown-%")
+	b.ReportMetric(r.Rows[1].Slowdown*100, "harmonia-throttle-slowdown-%")
+}
+
+// Component micro-benchmarks: the cost of the moving parts themselves.
+
+func BenchmarkSimulatorKernelInvocation(b *testing.B) {
+	sys := NewSystem()
+	k := AllKernels()[0]
+	cfg := MaxConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Sim.Run(k, i, cfg)
+	}
+}
+
+func BenchmarkControllerObserveDecide(b *testing.B) {
+	e := benchLab(b)
+	sys := NewSystem()
+	sys.UsePredictor(e.Predictor())
+	ctrl := sys.Harmonia()
+	k := AllKernels()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := ctrl.Decide(k.Name, i)
+		ctrl.Observe(k.Name, i, sys.Sim.Run(k, i, cfg))
+	}
+}
+
+func BenchmarkFullApplicationUnderHarmonia(b *testing.B) {
+	e := benchLab(b)
+	sys := NewSystem()
+	sys.UsePredictor(e.Predictor())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run(App("Sort"), sys.Harmonia()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOracleExhaustiveSearch(b *testing.B) {
+	sys := NewSystem()
+	app := App("SPMV")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run(App("SPMV"), sys.Oracle(app)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

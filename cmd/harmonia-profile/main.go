@@ -1,0 +1,61 @@
+// Command harmonia-profile reproduces the paper's CodeXL-style
+// measurement flow (Section 6): run an application's kernels for several
+// iterations at a chosen configuration, sample the Table 2 performance
+// counters at every kernel boundary, and print per-kernel statistics.
+//
+// Usage:
+//
+//	harmonia-profile -app Graph500
+//	harmonia-profile -suite -cus 16 -cufreq 700 -memfreq 925
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"harmonia/internal/hw"
+	"harmonia/internal/profiler"
+	"harmonia/internal/workloads"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "", "application to profile (empty with -suite profiles everything)")
+		suite   = flag.Bool("suite", false, "profile every kernel in the suite")
+		iters   = flag.Int("iters", 0, "iteration override (0 = application default)")
+		cus     = flag.Int("cus", 32, "active CU count")
+		cufreq  = flag.Int("cufreq", 1000, "compute frequency (MHz)")
+		memfreq = flag.Int("memfreq", 1375, "memory bus frequency (MHz)")
+	)
+	flag.Parse()
+
+	cfg := hw.Config{
+		Compute: hw.ComputeConfig{CUs: *cus, Freq: hw.MHz(*cufreq)},
+		Memory:  hw.MemConfig{BusFreq: hw.MHz(*memfreq)},
+	}
+	if !cfg.Valid() {
+		fmt.Fprintf(os.Stderr, "harmonia-profile: %v is not on the legal configuration grid\n", cfg)
+		os.Exit(1)
+	}
+
+	p := profiler.New()
+	p.Iterations = *iters
+
+	switch {
+	case *suite:
+		fmt.Printf("profiling the %d-kernel suite at %v\n\n", len(workloads.AllKernels()), cfg)
+		fmt.Print(profiler.Table(p.ProfileSuite(cfg)))
+	case *appName != "":
+		app := workloads.ByName(*appName)
+		if app == nil {
+			fmt.Fprintf(os.Stderr, "harmonia-profile: unknown application %q\n", *appName)
+			os.Exit(1)
+		}
+		fmt.Printf("profiling %s (%d iterations) at %v\n\n", app.Name, app.Iterations, cfg)
+		fmt.Print(profiler.Table(p.ProfileApp(app, cfg)))
+	default:
+		fmt.Fprintln(os.Stderr, "harmonia-profile: pass -app <name> or -suite")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,186 @@
+// Command harmonia-report regenerates every table and figure of the
+// paper's evaluation on the simulated platform and prints the full
+// report. EXPERIMENTS.md is the curated record of one such run.
+//
+// Usage:
+//
+//	harmonia-report [-only fig10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"harmonia/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "regenerate a single artifact (fig1, table1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table2, table3, results, fig14, fig15, fig16, fig17, fig18, computeonly, accuracy, memvolt, objective, tdp, knobs, stacked)")
+	flag.Parse()
+
+	e := experiments.NewEnv()
+	want := func(name string) bool { return *only == "" || *only == name }
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "harmonia-report:", err)
+		os.Exit(1)
+	}
+
+	if want("fig1") {
+		fmt.Println(experiments.Fig1PowerBreakdown(e))
+		fmt.Println()
+	}
+	if want("table1") {
+		fmt.Println(experiments.Table1String())
+	}
+	if want("fig3") {
+		for _, k := range []string{"MaxFlops.Main", "DeviceMemory.Stream", "LUD.Internal"} {
+			fmt.Println(experiments.Fig3BalanceCurves(e, k))
+		}
+	}
+	if want("fig4") {
+		fmt.Println(experiments.Fig4ComputePowerRange(e))
+		fmt.Println()
+	}
+	if want("fig5") {
+		fmt.Println(experiments.Fig5MemoryPowerRange(e))
+		fmt.Println()
+	}
+	if want("fig6") {
+		fmt.Println(experiments.Fig6MetricComparison(e))
+	}
+	if want("fig7") {
+		fmt.Println("Figure 7 — kernel occupancy vs bandwidth sensitivity")
+		for _, r := range experiments.Fig7OccupancyEffect(e) {
+			fmt.Printf("  %-24s occupancy %3.0f%%  bandwidth sensitivity %.2f\n",
+				r.Kernel, r.Occupancy*100, r.BandwidthSensitivity)
+		}
+		fmt.Println()
+	}
+	if want("fig8") {
+		fmt.Println("Figure 8 — branch divergence vs compute-frequency sensitivity")
+		for _, r := range experiments.Fig8DivergenceEffect(e) {
+			fmt.Printf("  %-24s divergence %4.0f%%  insts %.2g  freq sensitivity %.2f\n",
+				r.Kernel, r.BranchDivergence, r.VALUInsts, r.ComputeFreqSensitive)
+		}
+		fmt.Println()
+	}
+	if want("fig9") {
+		fmt.Println(experiments.Fig9ClockDomains(e))
+		fmt.Println()
+	}
+	if want("table2") {
+		fmt.Println("Table 2 — performance counters and metrics")
+		for _, d := range experiments.Table2Counters() {
+			fmt.Printf("  %-18s %s\n", d.Name, d.Text)
+		}
+		fmt.Println()
+	}
+	if want("table3") {
+		fmt.Println(experiments.Table3Model(e))
+	}
+	if want("results") {
+		rows, sum, err := experiments.Fig10ED2(e)
+		if err != nil {
+			fail(err)
+		}
+		_ = rows
+		results, err := e.Results()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Figures 10-13 — per-application results vs baseline")
+		fmt.Println(experiments.ResultsTable(results))
+		fmt.Println(sum)
+		fmt.Println()
+	}
+	if want("computeonly") {
+		r, err := experiments.ComputeOnlyStudy(e)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Compute-DVFS-only study — ED2 gain %.1f%%, slowdown %.2f%% (paper: ~3%% / ~1%%)\n\n",
+			r.ED2Gain*100, r.Slowdown*100)
+	}
+	if want("accuracy") {
+		acc := experiments.PredictorAccuracy(e)
+		fmt.Printf("Predictor accuracy — MAE bandwidth %.4f, compute %.4f (paper: 0.0303 / 0.0571)\n\n",
+			acc.BandwidthMAE, acc.ComputeMAE)
+	}
+	if want("fig14") {
+		fmt.Println(experiments.Fig14String(experiments.Fig14Graph500Phases(e)))
+	}
+	if want("fig15") {
+		r, err := experiments.Fig15MemFreqResidency(e)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
+	}
+	if want("fig16") {
+		r, err := experiments.Fig16TunableResidency(e)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
+	}
+	if want("fig17") {
+		r, err := experiments.Fig17PowerSharing(e)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
+	}
+	if want("fig18") {
+		rows, err := experiments.Fig18CGvsFG(e)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.Fig18String(rows))
+	}
+	if want("memvolt") {
+		r, err := experiments.MemVoltageScalingStudy(e)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
+		fmt.Println()
+	}
+	if want("objective") {
+		r, err := experiments.ObjectiveStudy(e)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
+		fmt.Println()
+	}
+	if want("tdp") {
+		rows, err := experiments.TDPStudy(e, []float64{250, 180, 150, 120})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.TDPString(rows))
+	}
+	if want("stacked") {
+		r, err := experiments.StackedEnvelopeStudy(e, 85)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
+	}
+	if want("knobs") {
+		rows, err := experiments.ControllerKnobStudy(e)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.KnobString(rows))
+	}
+
+	if *only != "" && !strings.Contains(
+		"fig1 table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 table2 table3 results fig14 fig15 fig16 fig17 fig18 computeonly accuracy memvolt objective tdp knobs stacked",
+		*only) {
+		fmt.Fprintf(os.Stderr, "harmonia-report: unknown artifact %q\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,67 @@
+package harmonia_test
+
+import (
+	"fmt"
+
+	"harmonia"
+)
+
+// The canonical flow: run an application under the baseline and under
+// Harmonia, then compare the figures of merit.
+func Example() {
+	sys := harmonia.NewSystem()
+
+	base, err := sys.Run(harmonia.App("Sort"), sys.Baseline())
+	if err != nil {
+		panic(err)
+	}
+	hm, err := sys.Run(harmonia.App("Sort"), sys.Harmonia())
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("power saved: %.0f%%\n",
+		100*harmonia.Improvement(base.AveragePower(), hm.AveragePower()))
+	fmt.Printf("performance kept: %v\n",
+		hm.TotalTime() < base.TotalTime()*1.01)
+	// Output:
+	// power saved: 12%
+	// performance kept: true
+}
+
+// Inspecting the hardware configuration space the paper sweeps.
+func ExampleConfigSpace() {
+	space := harmonia.ConfigSpace()
+	fmt.Println(len(space), "configurations")
+	fmt.Println("min:", harmonia.MinConfig())
+	fmt.Println("max:", harmonia.MaxConfig())
+	// Output:
+	// 448 configurations
+	// min: 4CU@300MHz/mem@475MHz(91GB/s)
+	// max: 32CU@1000MHz/mem@1375MHz(264GB/s)
+}
+
+// Placing a kernel on the roofline (Section 3's balance analysis).
+func ExampleSystem_Analyze() {
+	sys := harmonia.NewSystem()
+	var kernel *harmonia.Kernel
+	for _, k := range harmonia.AllKernels() {
+		if k.Name == "DeviceMemory.Stream" {
+			kernel = k
+		}
+	}
+	p := sys.Analyze(kernel, 0, harmonia.MaxConfig())
+	fmt.Println(p.Boundedness)
+	// Output:
+	// memory-bound
+}
+
+// The published Table 3 coefficients ship for reference.
+func ExamplePaperTable3() {
+	p := harmonia.PaperTable3()
+	fmt.Printf("bandwidth intercept: %.2f\n", p.Bandwidth.Intercept)
+	fmt.Printf("compute intercept: %.2f\n", p.Compute.Intercept)
+	// Output:
+	// bandwidth intercept: -0.42
+	// compute intercept: 0.06
+}

@@ -1,0 +1,95 @@
+// Designspace: exhaustive hardware balance exploration in the style of
+// the paper's Figure 3 and Figure 6. For a chosen kernel, sweep all ~450
+// compute/memory configurations, print the balance curves (normalized
+// performance vs the platform's delivered ops/byte), locate the balance
+// knee, and compare the configurations that optimize performance, energy,
+// and ED².
+//
+//	go run ./examples/designspace [kernel]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"harmonia"
+)
+
+func main() {
+	kernelName := "DeviceMemory.Stream"
+	if len(os.Args) > 1 {
+		kernelName = os.Args[1]
+	}
+	var kernel *harmonia.Kernel
+	for _, k := range harmonia.AllKernels() {
+		if k.Name == kernelName {
+			kernel = k
+		}
+	}
+	if kernel == nil {
+		log.Fatalf("unknown kernel %q", kernelName)
+	}
+
+	sys := harmonia.NewSystem()
+	minCfg := harmonia.MinConfig()
+	baseTime := sys.Sim.Run(kernel, 0, minCfg).Time
+	baseOPB := minCfg.OpsPerByte()
+
+	fmt.Printf("balance exploration for %s (demand %.1f ops/byte, occupancy %.0f%%)\n\n",
+		kernel.Name, kernel.DemandOpsPerByte(), kernel.Occupancy()*100)
+
+	// One curve per memory configuration: the paper's Figure 3. For
+	// brevity print each curve's endpoints and its knee at max memory.
+	type pt struct{ x, perf float64 }
+	var bestSample harmonia.Sample
+	var bestCfg, bestEnergyCfg, bestED2Cfg harmonia.Config
+	var bestEnergy, bestED2 harmonia.Sample
+	first := true
+
+	for _, cfg := range harmonia.ConfigSpace() {
+		rep, err := sys.Run(&harmonia.Application{
+			Name: "probe", Kernels: []*harmonia.Kernel{kernel}, Iterations: 1,
+		}, sys.Fixed(cfg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := rep.Sample()
+		if first || s.Seconds < bestSample.Seconds {
+			bestSample, bestCfg = s, cfg
+		}
+		if first || s.Energy() < bestEnergy.Energy() {
+			bestEnergy, bestEnergyCfg = s, cfg
+		}
+		if first || s.ED2() < bestED2.ED2() {
+			bestED2, bestED2Cfg = s, cfg
+		}
+		first = false
+	}
+
+	// Balance curve at maximum memory bandwidth.
+	fmt.Println("balance curve at 264 GB/s (x = ops/byte normalized to min config):")
+	for _, n := range []int{4, 8, 16, 24, 32} {
+		for _, f := range []harmonia.MHz{300, 600, 1000} {
+			cfg := harmonia.Config{
+				Compute: harmonia.ComputeConfig{CUs: n, Freq: f},
+				Memory:  harmonia.MemConfig{BusFreq: 1375},
+			}
+			t := sys.Sim.Run(kernel, 0, cfg).Time
+			p := pt{x: cfg.OpsPerByte() / baseOPB, perf: baseTime / t}
+			bar := ""
+			for i := 0.0; i < p.perf; i += 0.5 {
+				bar += "#"
+			}
+			fmt.Printf("  x=%6.2f  perf=%6.2f  %s\n", p.x, p.perf, bar)
+		}
+	}
+
+	fmt.Println("\nobjective winners across the full space:")
+	fmt.Printf("  %-12s %-36v %9.3f ms  %6.1f W\n", "performance", bestCfg, bestSample.Seconds*1e3, bestSample.Watts)
+	fmt.Printf("  %-12s %-36v %9.3f ms  %6.1f W\n", "energy", bestEnergyCfg, bestEnergy.Seconds*1e3, bestEnergy.Watts)
+	fmt.Printf("  %-12s %-36v %9.3f ms  %6.1f W\n", "ED2", bestED2Cfg, bestED2.Seconds*1e3, bestED2.Watts)
+	fmt.Printf("\nED2-optimal keeps %.1f%% of peak performance while saving %.1f%% energy\n",
+		bestSample.Seconds/bestED2.Seconds*100,
+		harmonia.Improvement(bestSample.Energy(), bestED2.Energy())*100)
+}

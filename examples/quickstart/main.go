@@ -1,0 +1,60 @@
+// Quickstart: run one application under the stock PowerTune baseline and
+// under Harmonia, and compare time, power, energy, and ED².
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"harmonia"
+)
+
+func main() {
+	sys := harmonia.NewSystem()
+
+	// Pick an application from the paper's 14-app evaluation suite.
+	app := harmonia.App("CoMD")
+	fmt.Printf("running %s (%d iterations, kernels: %v)\n\n",
+		app.Name, app.Iterations, app.KernelNames())
+
+	// The baseline runs everything at the boost state: 32 CUs, 1 GHz,
+	// 264 GB/s.
+	base, err := sys.Run(app, sys.Baseline())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Harmonia predicts per-kernel sensitivities from performance
+	// counters, jumps to the vicinity of the balance point (CG), and
+	// fine-tunes with utilization feedback (FG). Note: policies are
+	// stateful — use a fresh application instance per run.
+	hm, err := sys.Run(harmonia.App("CoMD"), sys.Harmonia())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-12s %10s %10s %12s %14s\n", "policy", "time (s)", "power (W)", "energy (J)", "ED2 (mJ·s²)")
+	for _, r := range []*harmonia.Report{base, hm} {
+		fmt.Printf("%-12s %10.4f %10.1f %12.2f %14.4f\n",
+			r.Policy, r.TotalTime(), r.AveragePower(), r.TotalEnergy(), r.ED2()*1e3)
+	}
+
+	fmt.Printf("\nHarmonia vs baseline:\n")
+	fmt.Printf("  performance: %+.2f%%\n", (hm.TotalTime()/base.TotalTime()-1)*100)
+	fmt.Printf("  power:       %.1f%% saved\n", harmonia.Improvement(base.AveragePower(), hm.AveragePower())*100)
+	fmt.Printf("  energy:      %.1f%% saved\n", harmonia.Improvement(base.TotalEnergy(), hm.TotalEnergy())*100)
+	fmt.Printf("  ED2:         %.1f%% better\n", harmonia.Improvement(base.ED2(), hm.ED2())*100)
+
+	// Where did each kernel settle? Print the final configuration
+	// Harmonia chose per kernel.
+	fmt.Println("\nfinal per-kernel configurations:")
+	last := map[string]harmonia.Config{}
+	for _, run := range hm.Runs {
+		last[run.Kernel] = run.Config
+	}
+	for _, name := range app.KernelNames() {
+		fmt.Printf("  %-24s %v\n", name, last[name])
+	}
+}

@@ -1,0 +1,300 @@
+// Package harmonia is a Go reproduction of "Harmonia: Balancing Compute
+// and Memory Power in High-Performance GPUs" (Paul, Huang, Arora,
+// Yalamanchili — ISCA 2015): a two-level runtime power-management scheme
+// that coordinates the hardware power states of a discrete GPU and its
+// memory system so that the platform's delivered ops/byte matches the
+// running kernel's demand.
+//
+// Because the paper's evaluation is hardware measurement on an AMD Radeon
+// HD 7970, this package ships a faithful simulated platform in its place:
+// a GCN-class interval timing simulator, a rail-decomposed board power
+// model, the paper's performance-counter vocabulary, its 14-application
+// workload suite as kernel descriptors, the linear-regression sensitivity
+// predictors of Table 3, the Harmonia CG+FG controller of Algorithm 1,
+// the stock PowerTune baseline, and an exhaustive ED² oracle. DESIGN.md
+// documents every substitution; EXPERIMENTS.md records each reproduced
+// table and figure against the paper's published numbers.
+//
+// # Quick start
+//
+//	sys := harmonia.NewSystem()
+//	app := harmonia.App("Graph500")
+//	rep, err := sys.Run(app, sys.Harmonia())
+//	if err != nil { ... }
+//	base, _ := sys.Run(harmonia.App("Graph500"), sys.Baseline())
+//	fmt.Printf("ED² improvement: %.1f%%\n",
+//	    100*harmonia.Improvement(base.ED2(), rep.ED2()))
+//
+// Policies are stateful; construct a fresh one per application run.
+package harmonia
+
+import (
+	"io"
+
+	"harmonia/internal/analysis"
+	"harmonia/internal/core"
+	"harmonia/internal/counters"
+	"harmonia/internal/experiments"
+	"harmonia/internal/export"
+	"harmonia/internal/gpusim"
+	"harmonia/internal/hw"
+	"harmonia/internal/metrics"
+	"harmonia/internal/oracle"
+	"harmonia/internal/policy"
+	"harmonia/internal/sensitivity"
+	"harmonia/internal/session"
+	"harmonia/internal/workloads"
+
+	powermodel "harmonia/internal/power"
+)
+
+// Re-exported core types. The aliases make the full internal APIs
+// available through this package.
+type (
+	// Config is a full hardware configuration: active CU count, compute
+	// frequency, and memory bus frequency.
+	Config = hw.Config
+	// ComputeConfig is the GPU-side half of a Config.
+	ComputeConfig = hw.ComputeConfig
+	// MemConfig is the memory-side half of a Config.
+	MemConfig = hw.MemConfig
+	// Tunable identifies one of the three hardware tunables.
+	Tunable = hw.Tunable
+	// MHz is a clock frequency in megahertz.
+	MHz = hw.MHz
+
+	// Application is a multi-kernel iterative GPGPU application.
+	Application = workloads.Application
+	// Kernel is a GPU kernel descriptor.
+	Kernel = workloads.Kernel
+	// Phase modulates a kernel invocation for one iteration.
+	Phase = workloads.Phase
+	// KernelBuilder constructs kernel descriptors fluently.
+	KernelBuilder = workloads.Builder
+
+	// Counters is the Table 2 performance-counter sample.
+	Counters = counters.Set
+	// SimResult is the outcome of simulating one kernel invocation.
+	SimResult = gpusim.Result
+
+	// Policy chooses hardware configurations at kernel boundaries.
+	Policy = policy.Policy
+	// Controller is the Harmonia two-level controller.
+	Controller = core.Controller
+	// ControllerOptions configures a Controller.
+	ControllerOptions = core.Options
+
+	// Predictor holds the trained sensitivity models.
+	Predictor = sensitivity.Predictor
+	// SensitivityBins is the per-tunable HIGH/MED/LOW classification.
+	SensitivityBins = sensitivity.Bins
+
+	// Report is the outcome of running an application under a policy.
+	Report = session.Report
+	// KernelRun is one kernel invocation within a Report.
+	KernelRun = session.KernelRun
+
+	// Sample is an execution-time/average-power pair with energy, ED,
+	// and ED² derivations.
+	Sample = metrics.Sample
+
+	// Rails is the GPU/memory/other power decomposition in watts.
+	Rails = powermodel.Rails
+	// Activity is the hardware-activity summary the power model consumes.
+	Activity = powermodel.Activity
+
+	// Lab regenerates the paper's tables and figures.
+	Lab = experiments.Env
+
+	// OperatingPoint is a kernel's position on a configuration's
+	// roofline (compute/memory boundedness analysis).
+	OperatingPoint = analysis.OperatingPoint
+	// Roofline is the attainable-throughput model of a configuration.
+	Roofline = analysis.Roofline
+
+	// PowerParams holds the power model's calibration constants.
+	PowerParams = powermodel.Params
+)
+
+// Tunable identifiers.
+const (
+	TunableCUs     = hw.TunableCUs
+	TunableCUFreq  = hw.TunableCUFreq
+	TunableMemFreq = hw.TunableMemFreq
+)
+
+// System bundles the simulated platform: timing simulator, power model,
+// and a lazily trained sensitivity predictor.
+type System struct {
+	Sim   *gpusim.Model
+	Power *powermodel.Model
+
+	pred *sensitivity.Predictor
+}
+
+// NewSystem returns a System with the default calibrated platform.
+func NewSystem() *System {
+	return &System{Sim: gpusim.Default(), Power: powermodel.Default()}
+}
+
+// Predictor returns the system's sensitivity predictor, training it on
+// the standard workload suite on first use (an exhaustive sweep of the
+// 448-point configuration space; it takes a moment).
+func (s *System) Predictor() *Predictor {
+	if s.pred == nil {
+		p, err := sensitivity.Train(
+			sensitivity.BuildConfigTrainingSet(s.Sim, workloads.AllKernels()))
+		if err != nil {
+			panic(err) // the default training set is fixed and known good
+		}
+		s.pred = p
+	}
+	return s.pred
+}
+
+// UsePredictor installs a custom predictor (e.g. one trained with
+// TrainPredictor on user workloads).
+func (s *System) UsePredictor(p *Predictor) { s.pred = p }
+
+// Harmonia returns a fresh Harmonia controller (coarse-grain plus
+// fine-grain tuning) bound to this system's predictor.
+func (s *System) Harmonia() *Controller {
+	return core.New(core.Options{Predictor: s.Predictor()})
+}
+
+// HarmoniaWith returns a Harmonia controller with custom options; a nil
+// options predictor defaults to the system's.
+func (s *System) HarmoniaWith(opts ControllerOptions) *Controller {
+	if opts.Predictor == nil {
+		opts.Predictor = s.Predictor()
+	}
+	return core.New(opts)
+}
+
+// CGOnly returns the coarse-grain-only variant used in the paper's CG
+// bars (Figures 10-13).
+func (s *System) CGOnly() *Controller {
+	return core.New(core.Options{Predictor: s.Predictor(), DisableFG: true})
+}
+
+// ComputeDVFSOnly returns the compute-frequency-only policy of the
+// paper's Section 7.2 study.
+func (s *System) ComputeDVFSOnly() *Controller {
+	return core.NewComputeOnly(s.Predictor())
+}
+
+// Baseline returns the stock PowerTune behaviour: boost frequency, all
+// CUs, full memory speed. (With thermal headroom available — true for
+// every workload in the suite at the 250 W cap — the real PowerTune
+// manager degenerates to exactly this; see PowerTune for the capped
+// variant.)
+func (s *System) Baseline() Policy { return policy.NewBaseline() }
+
+// PowerTune returns the TDP-constrained stock power manager: it boosts
+// when board power fits under tdpWatts and steps the compute DPM state
+// down when it does not (Section 2.3).
+func (s *System) PowerTune(tdpWatts float64) Policy {
+	return policy.NewPowerTuneWithTDP(s.Power, tdpWatts)
+}
+
+// Fixed returns a policy pinned to one configuration.
+func (s *System) Fixed(cfg Config) Policy { return policy.NewFixed(cfg) }
+
+// Oracle returns the exhaustive per-invocation ED²-optimal policy for
+// the given applications (impractical on real hardware; the paper's
+// comparison upper bound).
+func (s *System) Oracle(apps ...*Application) Policy {
+	return oracle.New(s.Sim, s.Power, apps...)
+}
+
+// Run executes the application under the policy and returns the report.
+func (s *System) Run(app *Application, p Policy) (*Report, error) {
+	sess := &session.Session{Sim: s.Sim, Power: s.Power, Policy: p}
+	return sess.Run(app)
+}
+
+// TrainPredictor trains sensitivity models on the given kernels using
+// this system's simulator (Section 4's methodology). Use it to extend the
+// predictor to custom workloads.
+func (s *System) TrainPredictor(kernels []*Kernel) (*Predictor, error) {
+	return sensitivity.Train(sensitivity.BuildConfigTrainingSet(s.Sim, kernels))
+}
+
+// Lab returns an experiments environment sharing this system's models,
+// for regenerating the paper's tables and figures.
+func (s *System) Lab() *Lab {
+	return &experiments.Env{Sim: s.Sim, Power: s.Power}
+}
+
+// Suite returns the paper's 14-application evaluation suite.
+func Suite() []*Application { return workloads.Suite() }
+
+// App returns the named suite application (e.g. "Graph500"), or nil.
+func App(name string) *Application { return workloads.ByName(name) }
+
+// AllKernels returns every kernel of the suite.
+func AllKernels() []*Kernel { return workloads.AllKernels() }
+
+// NewKernel starts a fluent kernel-descriptor builder with
+// representative defaults.
+func NewKernel(name string) *KernelBuilder { return workloads.NewKernel(name) }
+
+// Workload templates: bandwidth-bound streaming, FLOP-bound compute, and
+// latency-bound pointer chasing.
+func StreamingKernel(name string) *KernelBuilder    { return workloads.Streaming(name) }
+func ComputeHeavyKernel(name string) *KernelBuilder { return workloads.ComputeHeavy(name) }
+func PointerChaseKernel(name string) *KernelBuilder { return workloads.PointerChase(name) }
+
+// ConfigSpace returns all ~450 legal hardware configurations.
+func ConfigSpace() []Config { return hw.ConfigSpace() }
+
+// MaxConfig returns the stock maximum configuration (32 CUs, 1 GHz,
+// 264 GB/s).
+func MaxConfig() Config { return hw.MaxConfig() }
+
+// MinConfig returns the minimum configuration the paper normalizes
+// against (4 CUs, 300 MHz, 90 GB/s).
+func MinConfig() Config { return hw.MinConfig() }
+
+// PaperTable3 returns the predictor with the paper's published Table 3
+// coefficients (for reference; they were fit to the physical HD 7970).
+func PaperTable3() *Predictor { return sensitivity.PaperModel() }
+
+// Improvement returns the fractional improvement of got over base for a
+// lower-is-better metric: Improvement(100, 88) = 0.12.
+func Improvement(base, got float64) float64 { return metrics.Improvement(base, got) }
+
+// GeoMean returns the geometric mean of xs, the paper's cross-application
+// aggregate.
+func GeoMean(xs []float64) float64 { return metrics.GeoMean(xs) }
+
+// Analyze places a kernel on a configuration's roofline: demanded vs
+// delivered ops/byte, boundedness, and achieved vs attainable throughput
+// (the paper's Section 3 hardware-balance analysis).
+func (s *System) Analyze(k *Kernel, iter int, cfg Config) OperatingPoint {
+	return analysis.Measure(s.Sim, k, iter, cfg)
+}
+
+// BalancedConfigs returns the hardware configurations whose delivered
+// ops/byte matches the kernel's demand — the balance points Harmonia's
+// coarse-grain step targets — sorted from least to most power-hungry.
+func (s *System) BalancedConfigs(k *Kernel, iter int) []Config {
+	return analysis.BalancedConfigs(s.Sim, k, iter)
+}
+
+// EnableMemVoltageScaling switches the power model to the paper's
+// what-if of a voltage-scalable memory rail (Sections 3.3/7.2).
+func (s *System) EnableMemVoltageScaling() {
+	p := s.Power.Params()
+	p.MemVoltageScaling = true
+	s.Power = powermodel.New(p)
+}
+
+// WriteReportJSON serializes a report as indented JSON.
+func WriteReportJSON(w io.Writer, r *Report) error { return export.WriteReportJSON(w, r) }
+
+// WriteRunsCSV serializes a report's per-invocation rows as CSV.
+func WriteRunsCSV(w io.Writer, r *Report) error { return export.WriteRunsCSV(w, r) }
+
+// WriteTraceCSV serializes a report's 1 kHz power trace as CSV.
+func WriteTraceCSV(w io.Writer, r *Report) error { return export.WriteTraceCSV(w, r.Trace) }

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"harmonia/internal/counters"
+	"harmonia/internal/gpusim"
+	"harmonia/internal/hw"
+)
+
+// FuzzControllerRobustness drives the controller with synthetic counter
+// streams derived from the fuzz input. Whatever the counters claim, the
+// controller must only ever emit configurations on the legal grid and
+// must not panic.
+func FuzzControllerRobustness(f *testing.F) {
+	f.Add(uint8(50), uint8(50), uint8(90), uint8(10), uint8(128))
+	f.Add(uint8(0), uint8(100), uint8(0), uint8(100), uint8(255))
+	f.Add(uint8(255), uint8(0), uint8(255), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, vb, mb, vu, ms, ic uint8) {
+		c := New(Options{Predictor: predictor()})
+		cfg := c.Decide("fuzz.kernel", 0)
+		for i := 0; i < 24; i++ {
+			cs := counters.Set{
+				VALUBusy:        float64(vb) / 255 * 100,
+				MemUnitBusy:     float64(mb) / 255 * 100,
+				VALUUtilization: float64(vu) / 255 * 100,
+				MemUnitStalled:  float64(ms) / 255 * 100,
+				ICActivity:      float64(ic) / 255,
+				NormVGPR:        float64(vb%64) / 256,
+				NormSGPR:        float64(mb%100) / 102,
+				Occupancy:       float64(vu%10+1) / 10,
+				VALUInsts:       float64(int(vb)*1000 + 1),
+				NormCUsActive:   float64(cfg.Compute.CUs) / hw.MaxCUs,
+				NormCUClock:     cfg.Compute.Freq.GHz(),
+				NormMemClock:    float64(cfg.Memory.BusFreq) / float64(hw.MaxMemFreq),
+			}
+			res := gpusim.Result{Time: 0.001, Counters: cs, Config: cfg}
+			c.Observe("fuzz.kernel", i, res)
+			cfg = c.Decide("fuzz.kernel", i+1)
+			if !cfg.Valid() {
+				t.Fatalf("iteration %d: invalid config %v", i, cfg)
+			}
+		}
+	})
+}

@@ -1,0 +1,577 @@
+// Package core implements Harmonia, the paper's contribution: a two-level
+// coordinated power-management policy for the GPU and its memory system
+// (Section 5, Algorithm 1).
+//
+// At every kernel boundary the controller:
+//
+//  1. Monitors — samples the kernel's performance counters.
+//  2. Predicts — computes per-tunable sensitivities with the linear
+//     models of Table 3 and bins them HIGH/MED/LOW.
+//  3. Coarse-grain (CG) tunes — when the bins change, jumps each tunable
+//     to the empirically fixed value of its bin, bringing the hardware to
+//     the vicinity of the balance point. If the bin change immediately
+//     follows a configuration change made by the controller itself, the
+//     previous decision is reverted instead: the sensitivity change was
+//     an artifact of the configuration change, not the workload
+//     (Section 5.2).
+//  4. Fine-grain (FG) tunes — when the bins are stable, follows the
+//     gradient of machine-level VALU utilization (the paper's "gradient
+//     of core utilization" performance proxy): steps tunables toward
+//     lower power while the gradient is non-negative, reverts the
+//     responsible tunable when performance degrades, counts dithering,
+//     and converges to the last zero-gradient state after too many
+//     oscillations.
+//
+// Per-kernel state persists across iterations, so iterative HPC
+// applications start each kernel at its last best configuration
+// (Section 5.1).
+package core
+
+import (
+	"fmt"
+
+	"harmonia/internal/counters"
+	"harmonia/internal/gpusim"
+	"harmonia/internal/hw"
+	"harmonia/internal/sensitivity"
+)
+
+// Options configures a Controller.
+type Options struct {
+	// Predictor supplies the sensitivity models; nil trains the default
+	// predictor on the standard workload suite.
+	Predictor *sensitivity.Predictor
+	// Tunables restricts which hardware tunables the controller manages;
+	// empty means all three. The paper's compute-frequency-only study
+	// (Section 7.2) is this controller with only TunableCUFreq.
+	Tunables []hw.Tunable
+	// DisableFG turns off the fine-grain feedback loop, yielding the
+	// paper's "CG" configuration (Figures 10-13).
+	DisableFG bool
+	// MaxDither is the number of oscillations of one tunable the FG loop
+	// tolerates before freezing it at the last good state. Zero means
+	// the default of 1.
+	MaxDither int
+	// SmoothAlpha is the exponential-moving-average weight the
+	// monitoring block gives the newest counter sample when maintaining
+	// per-kernel history (Section 5.1). Zero means the default of 0.3.
+	SmoothAlpha float64
+	// Deadband is the relative change in the utilization proxy treated
+	// as "no change" (Algorithm 1's gradient-zero case). Zero means the
+	// default of 2%.
+	Deadband float64
+	// Initial is the configuration used before the first observation of
+	// each kernel; zero value means the baseline maximum configuration.
+	Initial hw.Config
+}
+
+// cgTarget maps a sensitivity bin to the grid level a tunable is set to
+// during coarse-grain tuning: the "empirically fixed high, medium, or low
+// value" of Section 5.2, grounded in the oracle's per-kernel optima on
+// this platform (DESIGN.md §6). Highly sensitive tunables get their
+// maximum; LOW-bin tunables jump most of the way down and the FG loop
+// walks the remaining steps to the floor when that proves free (Sort's
+// memory bus reaches 475 MHz this way); MED lands high enough that a
+// misbinned kernel is not badly hurt before FG reacts.
+func cgTarget(t hw.Tunable, b sensitivity.Bin) int {
+	switch b {
+	case sensitivity.High:
+		return t.Levels() - 1
+	case sensitivity.Med:
+		switch t {
+		case hw.TunableCUs:
+			return 6 // 28 CUs
+		case hw.TunableCUFreq:
+			return 6 // 900 MHz
+		default:
+			return 5 // 1225 MHz memory
+		}
+	default: // Low
+		switch t {
+		case hw.TunableCUs:
+			return 3 // 16 CUs
+		case hw.TunableCUFreq:
+			return 5 // 800 MHz
+		default:
+			return 3 // 925 MHz memory; FG walks the rest to the floor
+		}
+	}
+}
+
+// ActionKind classifies one controller decision for the decision log.
+type ActionKind int
+
+const (
+	// ActionHold: no change this boundary.
+	ActionHold ActionKind = iota
+	// ActionCG: coarse-grain jump to the bin targets.
+	ActionCG
+	// ActionFG: fine-grain downward step.
+	ActionFG
+	// ActionRevert: a change was undone (degradation or artificial
+	// sensitivity shift).
+	ActionRevert
+	// ActionFreeze: a tunable was pinned after exceeding the dithering
+	// budget.
+	ActionFreeze
+)
+
+func (a ActionKind) String() string {
+	switch a {
+	case ActionHold:
+		return "hold"
+	case ActionCG:
+		return "cg"
+	case ActionFG:
+		return "fg"
+	case ActionRevert:
+		return "revert"
+	case ActionFreeze:
+		return "freeze"
+	default:
+		return "unknown"
+	}
+}
+
+// Action is one entry of the controller's decision log.
+type Action struct {
+	Kernel string
+	Kind   ActionKind
+	// From and To are the configurations before and after the decision.
+	From, To hw.Config
+	// Bins is the sensitivity classification in effect.
+	Bins sensitivity.Bins
+	// Proxy is the machine-utilization reading that drove the decision.
+	Proxy float64
+}
+
+// Controller is the Harmonia policy. It implements policy.Policy.
+type Controller struct {
+	opts     Options
+	pred     *sensitivity.Predictor
+	tunables []hw.Tunable
+	kernels  map[string]*kernelState
+
+	// Counters for introspection and the CG-vs-FG experiments.
+	cgActions, fgActions, reverts int
+
+	// log is the bounded decision log (most recent last).
+	log []Action
+}
+
+// maxLogEntries bounds the decision log so long sessions cannot grow it
+// without bound.
+const maxLogEntries = 4096
+
+// Log returns the controller's decision log, most recent last. The log
+// is bounded; old entries fall off the front.
+func (c *Controller) Log() []Action { return c.log }
+
+func (c *Controller) record(a Action) {
+	if len(c.log) >= maxLogEntries {
+		copy(c.log, c.log[1:])
+		c.log = c.log[:len(c.log)-1]
+	}
+	c.log = append(c.log, a)
+}
+
+// kernelState is the per-kernel controller memory (Section 5.1: "use each
+// kernel's historical data from previous iterations to predict hardware
+// configurations for the same kernel in the next iteration").
+type kernelState struct {
+	next hw.Config // configuration for the next invocation
+
+	haveHist bool
+	hist     counters.Set // EWMA-smoothed counter history for this kernel
+
+	haveBins bool
+	bins     sensitivity.Bins // last accepted (non-artificial) bins
+	pending  sensitivity.Bins // candidate new bins awaiting confirmation
+	pendingN int              // consecutive observations of pending
+	prevRaw  sensitivity.Bins // raw bins of the immediately previous iteration
+
+	haveProxy bool
+	proxy     float64 // utilization proxy of the previous invocation
+
+	prev      hw.Config    // configuration of the previous invocation
+	lastMoved []hw.Tunable // tunables we changed between prev and next
+	lastCG    bool         // whether that change was a CG jump
+
+	isolate  []hw.Tunable // single-step blame-isolation queue
+	dither   map[hw.Tunable]int
+	frozen   map[hw.Tunable]bool
+	lastGood hw.Config
+
+	lastKind ActionKind // classification of the most recent decision
+}
+
+// New returns a Harmonia controller.
+func New(opts Options) *Controller {
+	pred := opts.Predictor
+	if pred == nil {
+		pred = sensitivity.DefaultPredictor()
+	}
+	tunables := opts.Tunables
+	if len(tunables) == 0 {
+		tunables = hw.Tunables()
+	}
+	if opts.MaxDither <= 0 {
+		opts.MaxDither = 1
+	}
+	if opts.Deadband <= 0 {
+		opts.Deadband = 0.005
+	}
+	if opts.SmoothAlpha <= 0 || opts.SmoothAlpha > 1 {
+		opts.SmoothAlpha = 0.3
+	}
+	if !opts.Initial.Valid() {
+		opts.Initial = hw.MaxConfig()
+	}
+	return &Controller{
+		opts:     opts,
+		pred:     pred,
+		tunables: tunables,
+		kernels:  make(map[string]*kernelState),
+	}
+}
+
+// NewComputeOnly returns the compute-frequency-and-voltage-scaling-only
+// policy of Section 7.2's study ("compute frequency and voltage scaling
+// alone achieve only an average ED2 gain of 3%").
+func NewComputeOnly(pred *sensitivity.Predictor) *Controller {
+	return New(Options{Predictor: pred, Tunables: []hw.Tunable{hw.TunableCUFreq}})
+}
+
+// Name implements policy.Policy.
+func (c *Controller) Name() string {
+	switch {
+	case c.opts.DisableFG:
+		return "harmonia-cg"
+	case len(c.tunables) == 1 && c.tunables[0] == hw.TunableCUFreq:
+		return "compute-dvfs-only"
+	default:
+		return "harmonia"
+	}
+}
+
+// Stats reports how many coarse-grain actions, fine-grain actions, and
+// reverts the controller has taken.
+func (c *Controller) Stats() (cg, fg, reverts int) {
+	return c.cgActions, c.fgActions, c.reverts
+}
+
+func (c *Controller) state(kernel string) *kernelState {
+	st, ok := c.kernels[kernel]
+	if !ok {
+		st = &kernelState{
+			next:     c.opts.Initial,
+			prev:     c.opts.Initial,
+			lastGood: c.opts.Initial,
+			dither:   make(map[hw.Tunable]int),
+			frozen:   make(map[hw.Tunable]bool),
+		}
+		c.kernels[kernel] = st
+	}
+	return st
+}
+
+// Decide implements policy.Policy.
+func (c *Controller) Decide(kernel string, _ int) hw.Config {
+	return c.state(kernel).next
+}
+
+// Observe implements policy.Policy: it runs one step of Algorithm 1.
+func (c *Controller) Observe(kernel string, _ int, res gpusim.Result) {
+	st := c.state(kernel)
+	cur := res.Config
+
+	// Monitoring block: fold the new sample into the kernel's history
+	// (Section 5.1) and predict sensitivities from the smoothed view.
+	if !st.haveHist {
+		st.hist = res.Counters
+		st.haveHist = true
+	} else {
+		st.hist = st.hist.Blend(res.Counters, c.opts.SmoothAlpha)
+	}
+	bins := c.binsFor(st.hist)
+	proxy := gpusim.MachineUtilization(res.Counters, cur)
+	rawStable := st.haveBins && bins == st.prevRaw
+	st.lastKind = ActionHold
+	defer func() {
+		st.prev = cur
+		st.proxy = proxy
+		st.haveProxy = true
+		st.prevRaw = bins
+		c.record(Action{Kernel: kernel, Kind: st.lastKind, From: cur, To: st.next, Bins: st.bins, Proxy: proxy})
+	}()
+
+	// First observation of this kernel: adopt the bins and take the
+	// initial coarse-grain decision.
+	if !st.haveBins {
+		st.bins = bins
+		st.haveBins = true
+		st.lastGood = cur
+		c.applyCG(st, cur, bins)
+		return
+	}
+
+	if bins != st.bins {
+		if len(st.lastMoved) > 0 {
+			// The sensitivity change immediately follows our own
+			// configuration change: treat it as artificial and revert
+			// the previous decision (Algorithm 1). The accepted bins
+			// stay as they were.
+			st.pendingN = 0
+			c.revertTo(st, cur, st.prev, st.lastMoved)
+			return
+		}
+		// Candidate phase change: require the new bins to persist for a
+		// second observation before acting, so that single-iteration
+		// flickers (common in phase-heavy kernels such as Graph500's
+		// BFS) do not trigger spurious coarse-grain jumps.
+		if bins != st.pending || st.pendingN == 0 {
+			st.pending = bins
+			st.pendingN = 1
+			st.next = cur
+			return
+		}
+		// Confirmed application phase change: re-run coarse-grain tuning.
+		st.pendingN = 0
+		st.bins = bins
+		c.resetFG(st)
+		c.applyCG(st, cur, bins)
+		return
+	}
+	st.pendingN = 0
+
+	// Bins stable: fine-grain tuning on the utilization gradient. Per
+	// Section 5.2, FG only acts when the sensitivities have not changed
+	// between two subsequent iterations — during rapid phase churn the
+	// loop holds rather than chase a moving target. Degradation caused
+	// by our own last move is still repaired immediately.
+	if c.opts.DisableFG || !st.haveProxy {
+		st.lastMoved = nil
+		st.lastCG = false
+		st.next = cur
+		return
+	}
+	degradedAfterMove := len(st.lastMoved) > 0 && proxy < st.proxy-c.opts.Deadband*st.proxy
+	if !rawStable && !degradedAfterMove {
+		st.lastMoved = nil
+		st.lastCG = false
+		st.next = cur
+		return
+	}
+	c.fineGrain(st, cur, proxy)
+}
+
+// binsFor predicts sensitivity bins from a (smoothed) counter sample,
+// with unmanaged tunables reported as High so that CG pins them at their
+// maximum (i.e. leaves them at the baseline value).
+func (c *Controller) binsFor(cs counters.Set) sensitivity.Bins {
+	bins := sensitivity.Bins{CUs: sensitivity.High, CUFreq: sensitivity.High, MemFreq: sensitivity.High}
+	for _, t := range c.tunables {
+		switch t {
+		case hw.TunableCUs:
+			bins.CUs = sensitivity.BinOf(c.pred.PredictCUs(cs))
+		case hw.TunableCUFreq:
+			bins.CUFreq = sensitivity.BinOf(c.pred.PredictCUFreq(cs))
+		case hw.TunableMemFreq:
+			bins.MemFreq = sensitivity.BinOf(c.pred.PredictBandwidth(cs))
+		}
+	}
+	return bins
+}
+
+func binFor(bins sensitivity.Bins, t hw.Tunable) sensitivity.Bin {
+	switch t {
+	case hw.TunableCUs:
+		return bins.CUs
+	case hw.TunableCUFreq:
+		return bins.CUFreq
+	default:
+		return bins.MemFreq
+	}
+}
+
+// applyCG jumps every managed tunable to its bin target (Algorithm 1's
+// SetCU_Freq_MemBW).
+func (c *Controller) applyCG(st *kernelState, cur hw.Config, bins sensitivity.Bins) {
+	next := cur
+	var moved []hw.Tunable
+	for _, t := range c.tunables {
+		target := cgTarget(t, binFor(bins, t))
+		if t.LevelFor(next) != target {
+			next = t.WithLevel(next, target)
+			moved = append(moved, t)
+		}
+	}
+	st.next = next
+	st.lastMoved = moved
+	st.lastCG = len(moved) > 0
+	if len(moved) > 0 {
+		c.cgActions++
+		st.lastKind = ActionCG
+	}
+}
+
+// revertTo restores the given tunables of cur to their values in prev.
+func (c *Controller) revertTo(st *kernelState, cur, prev hw.Config, moved []hw.Tunable) {
+	next := cur
+	for _, t := range moved {
+		next = t.WithLevel(next, t.LevelFor(prev))
+	}
+	st.next = next
+	st.lastMoved = nil
+	st.lastCG = false
+	st.lastKind = ActionRevert
+	c.reverts++
+}
+
+func (c *Controller) resetFG(st *kernelState) {
+	st.isolate = nil
+	st.dither = make(map[hw.Tunable]int)
+	st.frozen = make(map[hw.Tunable]bool)
+}
+
+// fgEligible reports whether the FG loop may step t downward: the
+// tunable must be managed, not frozen by dithering, and not predicted
+// highly sensitive — CG pinned HIGH-bin tunables at their maximum on
+// purpose, and probing them down would knowingly sacrifice performance
+// (this is why Figure 16 shows Graph500's compute frequency occupying a
+// single state).
+func (c *Controller) fgEligible(st *kernelState, t hw.Tunable) bool {
+	return !st.frozen[t] && binFor(st.bins, t) != sensitivity.High
+}
+
+// fineGrain runs one step of the FG block: decrement toward lower power
+// while the utilization gradient is non-negative; on degradation, revert
+// — isolating the responsible tunable when several moved together — and
+// count dithering, freezing a tunable at its last good value once it has
+// oscillated MaxDither times (Section 5.2).
+func (c *Controller) fineGrain(st *kernelState, cur hw.Config, proxy float64) {
+	moved := st.lastMoved // what we changed before this observation
+	wasCG := st.lastCG
+	st.lastMoved = nil
+	st.lastCG = false
+
+	eps := c.opts.Deadband * st.proxy
+	if eps < 1e-9 {
+		eps = 1e-9
+	}
+	degraded := proxy < st.proxy-eps
+
+	if degraded && len(moved) == 0 {
+		// Utilization dropped without any controller action: a natural
+		// workload fluctuation. Hold the configuration rather than
+		// react to what the sensitivity change did not announce.
+		st.next = cur
+		return
+	}
+
+	if degraded && len(moved) > 0 {
+		if len(moved) == 1 {
+			// Unambiguous blame: revert the tunable.
+			t := moved[0]
+			st.next = t.WithLevel(cur, t.LevelFor(st.prev))
+			if wasCG {
+				// A coarse-grain jump overshot the balance point:
+				// fall back and let FG approach it one step at a time
+				// instead of pinning the tunable at the baseline.
+				st.isolate = append(st.isolate, t)
+				st.lastKind = ActionRevert
+				c.reverts++
+				return
+			}
+			// A fine-grain step failed: count the oscillation; past
+			// the dithering budget, pin the tunable at the last
+			// zero-gradient state (Algorithm 1's cut-off).
+			st.lastKind = ActionRevert
+			st.dither[t]++
+			if st.dither[t] >= c.opts.MaxDither {
+				st.next = t.WithLevel(st.next, t.LevelFor(st.lastGood))
+				st.frozen[t] = true
+				st.lastKind = ActionFreeze
+			} else {
+				// Re-probe later, after the other suspects.
+				st.isolate = append(st.isolate, t)
+			}
+			c.reverts++
+			return
+		}
+		// Several tunables moved together (a CG jump or a concurrent FG
+		// step): revert them all, then test them one at a time to
+		// isolate the responsible tunable.
+		c.revertTo(st, cur, st.prev, moved)
+		st.isolate = append(st.isolate, moved...)
+		return
+	}
+
+	// Gradient >= 0: the current configuration performs at least as well
+	// as the previous one; remember it and keep reducing power.
+	st.lastGood = cur
+
+	// Isolation mode: step one suspect at a time so blame stays
+	// unambiguous.
+	for len(st.isolate) > 0 {
+		t := st.isolate[0]
+		st.isolate = st.isolate[1:]
+		if !c.fgEligible(st, t) {
+			continue
+		}
+		if next, ok := t.Step(cur, hw.Down); ok {
+			st.next = next
+			st.lastMoved = []hw.Tunable{t}
+			st.lastKind = ActionFG
+			c.fgActions++
+			return
+		}
+	}
+
+	// Concurrent decrement (Section 5.2: "all tunables can be fine-tuned
+	// concurrently") of the eligible tunables with a clean record;
+	// tunables that have already caused a revert are only re-probed
+	// individually through the isolation queue.
+	next := cur
+	var movedNow []hw.Tunable
+	for _, t := range c.tunables {
+		if !c.fgEligible(st, t) || st.dither[t] > 0 {
+			continue
+		}
+		if stepped, ok := t.Step(next, hw.Down); ok {
+			next = stepped
+			movedNow = append(movedNow, t)
+		}
+	}
+	if len(movedNow) == 0 {
+		st.next = cur // converged: floor or frozen everywhere
+		return
+	}
+	st.next = next
+	st.lastMoved = movedNow
+	st.lastKind = ActionFG
+	c.fgActions++
+}
+
+// Snapshot describes the controller's current per-kernel decisions, for
+// reporting and debugging.
+type Snapshot struct {
+	Kernel string
+	Config hw.Config
+	Bins   sensitivity.Bins
+}
+
+// Snapshots returns the current state for every kernel seen so far.
+func (c *Controller) Snapshots() []Snapshot {
+	out := make([]Snapshot, 0, len(c.kernels))
+	for name, st := range c.kernels {
+		out = append(out, Snapshot{Kernel: name, Config: st.next, Bins: st.bins})
+	}
+	return out
+}
+
+func (c *Controller) String() string {
+	cg, fg, rv := c.Stats()
+	return fmt.Sprintf("%s: %d kernels, %d CG, %d FG, %d reverts",
+		c.Name(), len(c.kernels), cg, fg, rv)
+}

@@ -1,0 +1,117 @@
+// Package daq emulates the paper's power-measurement instrumentation: a
+// National Instruments data-acquisition card sampling the GPU card's
+// power rails at 1 kHz (Section 6). A Recorder consumes (duration, rails)
+// intervals from the simulation, produces the discrete 1 kHz sample
+// stream an analyst would see, and integrates exact per-rail energy.
+//
+// Because the simulator knows the true piecewise-constant power, the
+// Recorder tracks both the exact analytic energy (used for metrics, so
+// short kernels are not aliased away) and the sampled stream (used for
+// time-series figures and as a cross-check; the two agree closely for
+// intervals long relative to the sampling period).
+package daq
+
+import (
+	"fmt"
+
+	"harmonia/internal/power"
+)
+
+// Sample is one DAQ reading: the rail powers observed at an instant.
+type Sample struct {
+	// TimeS is the sample timestamp in seconds from recording start.
+	TimeS float64
+	// Rails is the instantaneous rail decomposition in watts.
+	Rails power.Rails
+}
+
+// Energy is integrated per-rail energy in joules.
+type Energy struct {
+	GPU   float64
+	Mem   float64
+	Other float64
+}
+
+// Total returns total card energy in joules.
+func (e Energy) Total() float64 { return e.GPU + e.Mem + e.Other }
+
+// Add returns the sum of two energies.
+func (e Energy) Add(o Energy) Energy {
+	return Energy{GPU: e.GPU + o.GPU, Mem: e.Mem + o.Mem, Other: e.Other + o.Other}
+}
+
+// Recorder accumulates a power trace.
+type Recorder struct {
+	period     float64
+	now        float64
+	nextSample float64
+	samples    []Sample
+	exact      Energy
+}
+
+// DefaultRateHz is the paper's DAQ sampling rate.
+const DefaultRateHz = 1000
+
+// New returns a Recorder sampling at the given rate; rates <= 0 use
+// DefaultRateHz.
+func New(rateHz float64) *Recorder {
+	if rateHz <= 0 {
+		rateHz = DefaultRateHz
+	}
+	return &Recorder{period: 1 / rateHz}
+}
+
+// Observe advances the trace by duration seconds during which the card
+// drew the given constant rail powers. Negative durations are ignored.
+func (r *Recorder) Observe(duration float64, rails power.Rails) {
+	if duration <= 0 {
+		return
+	}
+	r.exact.GPU += rails.GPU * duration
+	r.exact.Mem += rails.Mem * duration
+	r.exact.Other += rails.Other * duration
+
+	end := r.now + duration
+	for r.nextSample < end {
+		r.samples = append(r.samples, Sample{TimeS: r.nextSample, Rails: rails})
+		r.nextSample += r.period
+	}
+	r.now = end
+}
+
+// Now returns the current trace time in seconds.
+func (r *Recorder) Now() float64 { return r.now }
+
+// Samples returns the recorded 1 kHz sample stream.
+func (r *Recorder) Samples() []Sample { return r.samples }
+
+// Energy returns the exact integrated per-rail energy.
+func (r *Recorder) Energy() Energy { return r.exact }
+
+// SampledEnergy integrates total card energy from the discrete sample
+// stream (rectangle rule), as an analyst with only the DAQ trace would.
+func (r *Recorder) SampledEnergy() float64 {
+	sum := 0.0
+	for _, s := range r.samples {
+		sum += s.Rails.Card() * r.period
+	}
+	return sum
+}
+
+// AveragePower returns exact mean card power over the trace in watts.
+func (r *Recorder) AveragePower() float64 {
+	if r.now <= 0 {
+		return 0
+	}
+	return r.exact.Total() / r.now
+}
+
+// Reset clears the trace.
+func (r *Recorder) Reset() {
+	r.now, r.nextSample, r.samples, r.exact = 0, 0, nil, Energy{}
+}
+
+func (r *Recorder) String() string {
+	return fmt.Sprintf("daq: %.3fs, %d samples, %.1fJ (%.1fW avg)",
+		r.now, len(r.samples), r.exact.Total(), r.AveragePower())
+}

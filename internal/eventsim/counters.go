@@ -1,0 +1,86 @@
+package eventsim
+
+import (
+	"math"
+
+	"harmonia/internal/counters"
+	"harmonia/internal/hw"
+	"harmonia/internal/workloads"
+)
+
+// Counters derives the Table 2 performance-counter sample from an
+// event-simulated run, so the event simulator can stand in for the
+// interval model as the platform under a power-management policy. The
+// time-fraction counters come from the event loop's own accounting
+// (issue slots, stall cycles, memory-system busy cycles); the static
+// ones (registers, occupancy) from the kernel descriptor.
+func (r Result) Counters(k *workloads.Kernel, iter int, cfg hw.Config) counters.Set {
+	phase := k.PhaseFor(iter)
+	div := k.DivergenceFor(phase)
+	util := 1 - div
+	if util < 1e-3 {
+		util = 1e-3
+	}
+	nSIMD := float64(cfg.Compute.CUs * hw.SIMDsPerCU)
+	cycles := float64(r.Cycles)
+	clampPct := func(v float64) float64 { return math.Max(0, math.Min(100, v)) }
+
+	valuBusy := 0.0
+	memBusy := 0.0
+	stalled := 0.0
+	if cycles > 0 && nSIMD > 0 {
+		valuBusy = clampPct(float64(r.IssueSlots) * float64(DefaultParams().IssueCyclesPerVALU) / (nSIMD * cycles) * 100)
+		// Service-time fraction, mirroring the interval model's
+		// MemUnitBusy = Tmem/T semantics.
+		memBusy = clampPct(r.ServiceCycles / cycles * 100)
+		stalled = clampPct(float64(r.StallCycles) / (nSIMD * cycles) * 100)
+	}
+	peakBW := cfg.Memory.BandwidthGBs()
+	ic := 0.0
+	if peakBW > 0 {
+		ic = math.Max(0, math.Min(1, r.AchievedGBs()/peakBW))
+	}
+
+	return counters.Set{
+		VALUBusy:         valuBusy,
+		VALUUtilization:  clampPct(util * 100),
+		MemUnitBusy:      memBusy,
+		MemUnitStalled:   stalled,
+		WriteUnitStalled: clampPct(stalled * 0.2),
+		NormVGPR:         math.Min(float64(k.VGPRs)/hw.VGPRsPerSIMD, 1),
+		NormSGPR:         math.Min(float64(k.SGPRs)/hw.MaxSGPRsPerWave, 1),
+		ICActivity:       ic,
+		L2HitRate:        effectiveL2Hit(k, cfg.Compute.CUs),
+		Occupancy:        k.Occupancy(),
+		VALUInsts:        float64(r.IssueSlots),
+		VFetchInsts:      math.Max(1, float64(r.Waves)*k.FetchPerWI*phase.FetchScale),
+		VWriteInsts:      math.Max(1, float64(r.Waves)*k.WritePerWI),
+		NormCUsActive:    float64(cfg.Compute.CUs) / hw.MaxCUs,
+		NormCUClock:      cfg.Compute.Freq.GHz() / hw.MaxCUFreq.GHz(),
+		NormMemClock:     float64(cfg.Memory.BusFreq) / float64(hw.MaxMemFreq),
+	}
+}
+
+// AsGPUSimResult adapts an event-simulated run to the gpusim.Result shape
+// a policy.Policy observes, allowing any policy in this repository to run
+// against the event-driven machine.
+func (r Result) AsGPUSimResult(k *workloads.Kernel, iter int, cfg hw.Config) ResultAdapter {
+	return ResultAdapter{
+		Time:        r.Time,
+		Counters:    r.Counters(k, iter, cfg),
+		DRAMBytes:   r.DRAMBytes,
+		AchievedGBs: r.AchievedGBs(),
+		Config:      cfg,
+	}
+}
+
+// ResultAdapter mirrors the fields of gpusim.Result that policies
+// consume. (Defined locally to keep eventsim independent of gpusim; the
+// session-level glue converts between them.)
+type ResultAdapter struct {
+	Time        float64
+	Counters    counters.Set
+	DRAMBytes   float64
+	AchievedGBs float64
+	Config      hw.Config
+}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"harmonia/internal/core"
+	"harmonia/internal/gpusim"
+	"harmonia/internal/metrics"
+	"harmonia/internal/oracle"
+	"harmonia/internal/policy"
+	"harmonia/internal/power"
+	"harmonia/internal/session"
+	"harmonia/internal/workloads"
+)
+
+// This file holds the ablation studies DESIGN.md calls out: the paper's
+// explicit what-ifs (memory voltage scaling, Sections 3.3/7.2; the
+// ED-vs-ED² objective remark, Section 3.4; TDP-constrained operation,
+// Section 1) and the sensitivity of the controller to its own knobs
+// (dithering budget, deadband).
+
+// ---------------------------------------------------------------------
+// Memory voltage scaling what-if.
+// ---------------------------------------------------------------------
+
+// MemVoltageResult compares Harmonia's savings with the measured fixed
+// memory rail against the hypothetical voltage-scaled rail.
+type MemVoltageResult struct {
+	// FixedRail is the geomean power saving with the paper's platform
+	// constraint (memory voltage fixed).
+	FixedRail float64
+	// ScaledRail is the geomean power saving with the what-if enabled.
+	ScaledRail float64
+	// MemSavingsFixed and MemSavingsScaled are the memory-rail-only
+	// savings (geomean across apps).
+	MemSavingsFixed  float64
+	MemSavingsScaled float64
+}
+
+// MemVoltageScalingStudy quantifies the paper's repeated remark that
+// memory savings "would actually be greater" with a scalable memory
+// rail: it reruns the suite under Harmonia with both power models.
+func MemVoltageScalingStudy(e *Env) (MemVoltageResult, error) {
+	scaledParams := power.DefaultParams()
+	scaledParams.MemVoltageScaling = true
+	scaled := power.New(scaledParams)
+
+	var res MemVoltageResult
+	var cardFixed, cardScaled, memFixed, memScaled []float64
+	for _, app := range workloads.Suite() {
+		for _, variant := range []struct {
+			pm   *power.Model
+			card *[]float64
+			mem  *[]float64
+		}{
+			{e.Power, &cardFixed, &memFixed},
+			{scaled, &cardScaled, &memScaled},
+		} {
+			base, err := (&session.Session{Sim: e.Sim, Power: variant.pm, Policy: policy.NewBaseline()}).
+				Run(workloads.ByName(app.Name))
+			if err != nil {
+				return res, err
+			}
+			hm, err := (&session.Session{Sim: e.Sim, Power: variant.pm,
+				Policy: core.New(core.Options{Predictor: e.Predictor()})}).
+				Run(workloads.ByName(app.Name))
+			if err != nil {
+				return res, err
+			}
+			*variant.card = append(*variant.card, hm.AveragePower()/base.AveragePower())
+			*variant.mem = append(*variant.mem,
+				(hm.Energy.Mem/hm.TotalTime())/(base.Energy.Mem/base.TotalTime()))
+		}
+	}
+	res.FixedRail = metrics.GeoMeanImprovement(cardFixed)
+	res.ScaledRail = metrics.GeoMeanImprovement(cardScaled)
+	res.MemSavingsFixed = metrics.GeoMeanImprovement(memFixed)
+	res.MemSavingsScaled = metrics.GeoMeanImprovement(memScaled)
+	return res, nil
+}
+
+func (r MemVoltageResult) String() string {
+	return fmt.Sprintf(
+		"Memory-voltage-scaling what-if (Sections 3.3/7.2)\n"+
+			"  card power saving:   fixed rail %5.1f%%  -> scaled rail %5.1f%%\n"+
+			"  memory rail saving:  fixed rail %5.1f%%  -> scaled rail %5.1f%%",
+		r.FixedRail*100, r.ScaledRail*100, r.MemSavingsFixed*100, r.MemSavingsScaled*100)
+}
+
+// ---------------------------------------------------------------------
+// ED versus ED² objective.
+// ---------------------------------------------------------------------
+
+// ObjectiveResult compares oracles optimizing different objectives
+// against the baseline (Section 3.4: "using ED here yields similar
+// conclusions").
+type ObjectiveResult struct {
+	// Geomean improvements in the respective metric and geomean slowdowns.
+	ED2Gain, ED2Slowdown       float64
+	EDGain, EDSlowdown         float64
+	EnergyGain, EnergySlowdown float64
+}
+
+// ObjectiveStudy reruns the oracle with ED, ED², and energy objectives.
+func ObjectiveStudy(e *Env) (ObjectiveResult, error) {
+	var res ObjectiveResult
+	type slot struct {
+		obj  oracle.Objective
+		gain *float64
+		slow *float64
+		of   func(metrics.Sample) float64
+	}
+	slots := []slot{
+		{oracle.MinED2, &res.ED2Gain, &res.ED2Slowdown, func(s metrics.Sample) float64 { return s.ED2() }},
+		{oracle.MinED, &res.EDGain, &res.EDSlowdown, func(s metrics.Sample) float64 { return s.ED() }},
+		{oracle.MinEnergy, &res.EnergyGain, &res.EnergySlowdown, func(s metrics.Sample) float64 { return s.Energy() }},
+	}
+	for _, sl := range slots {
+		var ratios, slows []float64
+		for _, app := range workloads.Suite() {
+			base, err := e.session(policy.NewBaseline()).Run(workloads.ByName(app.Name))
+			if err != nil {
+				return res, err
+			}
+			fresh := workloads.ByName(app.Name)
+			or, err := e.session(oracle.NewFor(sl.obj, e.Sim, e.Power, fresh)).Run(fresh)
+			if err != nil {
+				return res, err
+			}
+			ratios = append(ratios, sl.of(or.Sample())/sl.of(base.Sample()))
+			slows = append(slows, or.TotalTime()/base.TotalTime())
+		}
+		*sl.gain = metrics.GeoMeanImprovement(ratios)
+		*sl.slow = metrics.GeoMean(slows) - 1
+	}
+	return res, nil
+}
+
+func (r ObjectiveResult) String() string {
+	return fmt.Sprintf(
+		"Objective study (Section 3.4)\n"+
+			"  oracle-ED2:    %5.1f%% ED2 gain,    %+6.2f%% time\n"+
+			"  oracle-ED:     %5.1f%% ED gain,     %+6.2f%% time\n"+
+			"  oracle-energy: %5.1f%% energy gain, %+6.2f%% time",
+		r.ED2Gain*100, r.ED2Slowdown*100,
+		r.EDGain*100, r.EDSlowdown*100,
+		r.EnergyGain*100, r.EnergySlowdown*100)
+}
+
+// ---------------------------------------------------------------------
+// TDP-constrained operation.
+// ---------------------------------------------------------------------
+
+// TDPRow is the behaviour of the stock PowerTune manager at one cap.
+type TDPRow struct {
+	TDPWatts float64
+	// Slowdown vs the uncapped baseline (geomean).
+	Slowdown float64
+	// PeakPower is the highest per-app average power observed.
+	PeakPower float64
+}
+
+// TDPStudy sweeps board power caps through the stock PowerTune manager,
+// demonstrating the fixed-envelope regime of the paper's introduction.
+func TDPStudy(e *Env, caps []float64) ([]TDPRow, error) {
+	var rows []TDPRow
+	for _, cap := range caps {
+		var slows []float64
+		peak := 0.0
+		for _, app := range workloads.Suite() {
+			base, err := e.session(policy.NewBaseline()).Run(workloads.ByName(app.Name))
+			if err != nil {
+				return nil, err
+			}
+			fresh := workloads.ByName(app.Name)
+			pt, err := e.session(policy.NewPowerTuneWithTDP(e.Power, cap)).Run(fresh)
+			if err != nil {
+				return nil, err
+			}
+			slows = append(slows, pt.TotalTime()/base.TotalTime())
+			if p := pt.AveragePower(); p > peak {
+				peak = p
+			}
+		}
+		rows = append(rows, TDPRow{
+			TDPWatts:  cap,
+			Slowdown:  metrics.GeoMean(slows) - 1,
+			PeakPower: peak,
+		})
+	}
+	return rows, nil
+}
+
+// TDPString renders the TDP sweep.
+func TDPString(rows []TDPRow) string {
+	var b strings.Builder
+	b.WriteString("TDP study — stock PowerTune under board power caps\n")
+	b.WriteString("  cap (W)   slowdown   peak avg power (W)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %7.0f   %+7.2f%%   %8.1f\n", r.TDPWatts, r.Slowdown*100, r.PeakPower)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Controller-knob ablation.
+// ---------------------------------------------------------------------
+
+// KnobRow is the headline outcome for one controller configuration.
+type KnobRow struct {
+	Label    string
+	ED2Gain  float64
+	Slowdown float64
+}
+
+// ControllerKnobStudy sweeps Harmonia's dithering budget and deadband,
+// validating the defaults DESIGN.md §6 documents.
+func ControllerKnobStudy(e *Env) ([]KnobRow, error) {
+	variants := []struct {
+		label string
+		opts  core.Options
+	}{
+		{"default (dither 1, deadband 0.5%)", core.Options{}},
+		{"dither 3", core.Options{MaxDither: 3}},
+		{"deadband 5%", core.Options{Deadband: 0.05}},
+		{"no smoothing", core.Options{SmoothAlpha: 1}},
+	}
+	var rows []KnobRow
+	for _, v := range variants {
+		var ratios, slows []float64
+		for _, app := range workloads.Suite() {
+			base, err := e.session(policy.NewBaseline()).Run(workloads.ByName(app.Name))
+			if err != nil {
+				return nil, err
+			}
+			opts := v.opts
+			opts.Predictor = e.Predictor()
+			fresh := workloads.ByName(app.Name)
+			hm, err := e.session(core.New(opts)).Run(fresh)
+			if err != nil {
+				return nil, err
+			}
+			ratios = append(ratios, hm.ED2()/base.ED2())
+			slows = append(slows, hm.TotalTime()/base.TotalTime())
+		}
+		rows = append(rows, KnobRow{
+			Label:    v.label,
+			ED2Gain:  metrics.GeoMeanImprovement(ratios),
+			Slowdown: metrics.GeoMean(slows) - 1,
+		})
+	}
+	return rows, nil
+}
+
+// KnobString renders the controller-knob ablation.
+func KnobString(rows []KnobRow) string {
+	var b strings.Builder
+	b.WriteString("Controller-knob ablation\n")
+	b.WriteString("  variant                               ED2 gain   slowdown\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-36s %7.1f%%   %+7.2f%%\n", r.Label, r.ED2Gain*100, r.Slowdown*100)
+	}
+	return b.String()
+}
+
+var _ = gpusim.Default // documented dependency of the ablations' sessions

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMemVoltageScalingIncreasesSavings(t *testing.T) {
+	r, err := MemVoltageScalingStudy(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sections 3.3/7.2: savings "would actually be greater" with a
+	// scalable memory rail.
+	if r.ScaledRail <= r.FixedRail {
+		t.Errorf("scaled-rail card saving %.1f%% not above fixed-rail %.1f%%",
+			r.ScaledRail*100, r.FixedRail*100)
+	}
+	if r.MemSavingsScaled <= r.MemSavingsFixed {
+		t.Errorf("scaled-rail memory saving %.1f%% not above fixed-rail %.1f%%",
+			r.MemSavingsScaled*100, r.MemSavingsFixed*100)
+	}
+	if r.String() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestObjectiveStudyEDSimilarToED2(t *testing.T) {
+	r, err := ObjectiveStudy(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 3.4: "using ED here yields similar conclusions" — both
+	// oracles find material gains with tiny slowdowns, and the energy
+	// objective saves at least as much energy as either.
+	if r.ED2Gain < 0.10 || r.EDGain < 0.10 {
+		t.Errorf("oracle gains too small: ED2 %.1f%%, ED %.1f%%", r.ED2Gain*100, r.EDGain*100)
+	}
+	if math.Abs(r.ED2Slowdown) > 0.05 || math.Abs(r.EDSlowdown) > 0.05 {
+		t.Errorf("oracle slowdowns too large: %.2f%% / %.2f%%", r.ED2Slowdown*100, r.EDSlowdown*100)
+	}
+	if r.EnergyGain < r.ED2Gain-0.5 {
+		t.Errorf("energy-oracle gain %.1f%% implausibly small", r.EnergyGain*100)
+	}
+	if r.String() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestTDPStudyThrottlesMonotonically(t *testing.T) {
+	rows, err := TDPStudy(env(t), []float64{250, 150, 110})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// At the stock 250 W cap there is headroom: no slowdown (Section
+	// 7.1's observation).
+	if math.Abs(rows[0].Slowdown) > 0.005 {
+		t.Errorf("slowdown at 250W = %.2f%%, want ~0", rows[0].Slowdown*100)
+	}
+	// Tighter caps slow things monotonically.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Slowdown < rows[i-1].Slowdown-1e-9 {
+			t.Errorf("slowdown not monotone: %v", rows)
+		}
+	}
+	if rows[2].Slowdown < 0.01 {
+		t.Errorf("110W cap slowdown = %.2f%%, want visible throttling", rows[2].Slowdown*100)
+	}
+	if TDPString(rows) == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestControllerKnobDefaultsAreSane(t *testing.T) {
+	rows, err := ControllerKnobStudy(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]KnobRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	def := rows[0]
+	// The default configuration must be competitive: within 3 points of
+	// the best variant's ED2 gain.
+	best := def.ED2Gain
+	for _, r := range rows {
+		if r.ED2Gain > best {
+			best = r.ED2Gain
+		}
+	}
+	if best-def.ED2Gain > 0.03 {
+		t.Errorf("default config %.1f%% trails best variant %.1f%% by too much",
+			def.ED2Gain*100, best*100)
+	}
+	// Every variant must preserve performance within a few percent.
+	for _, r := range rows {
+		if math.Abs(r.Slowdown) > 0.05 {
+			t.Errorf("%s: slowdown %.2f%%", r.Label, r.Slowdown*100)
+		}
+	}
+	if KnobString(rows) == "" {
+		t.Error("empty rendering")
+	}
+}

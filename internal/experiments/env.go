@@ -1,0 +1,93 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections 3-7) on the simulated platform. Each exported
+// function corresponds to one artifact — Fig1PowerBreakdown for Figure 1,
+// Table3Model for Table 3, Fig10Results for Figure 10, and so on — and
+// returns a typed result carrying the same rows or series the paper
+// reports, plus a human-readable rendering.
+//
+// EXPERIMENTS.md records the measured outcome of each regenerator next to
+// the paper's published numbers; cmd/harmonia-report reprints them all.
+package experiments
+
+import (
+	"sync"
+
+	"harmonia/internal/core"
+	"harmonia/internal/gpusim"
+	"harmonia/internal/oracle"
+	"harmonia/internal/policy"
+	"harmonia/internal/power"
+	"harmonia/internal/sensitivity"
+	"harmonia/internal/session"
+	"harmonia/internal/workloads"
+)
+
+// Env is the shared laboratory: simulator, power model, trained
+// sensitivity predictor, and result caches. Building the predictor sweeps
+// the full configuration space once, so reuse a single Env across
+// experiments.
+type Env struct {
+	Sim   *gpusim.Model
+	Power *power.Model
+
+	predOnce sync.Once
+	pred     *sensitivity.Predictor
+
+	resultsOnce sync.Once
+	results     []AppResult
+	resultsErr  error
+}
+
+// NewEnv returns an Env with the default simulator and power model.
+func NewEnv() *Env {
+	return &Env{Sim: gpusim.Default(), Power: power.Default()}
+}
+
+// Predictor returns the Env's trained sensitivity predictor, training it
+// on first use exactly as DefaultPredictor does.
+func (e *Env) Predictor() *sensitivity.Predictor {
+	e.predOnce.Do(func() {
+		p, err := sensitivity.Train(
+			sensitivity.BuildConfigTrainingSet(e.Sim, workloads.AllKernels()))
+		if err != nil {
+			panic(err) // fixed known-good training set; see DefaultPredictor
+		}
+		e.pred = p
+	})
+	return e.pred
+}
+
+// session returns a session bound to this Env's models.
+func (e *Env) session(p policy.Policy) *session.Session {
+	return &session.Session{Sim: e.Sim, Power: e.Power, Policy: p}
+}
+
+// harmonia returns a fresh Harmonia controller.
+func (e *Env) harmonia() policy.Policy {
+	return core.New(core.Options{Predictor: e.Predictor()})
+}
+
+// cgOnly returns a fresh coarse-grain-only controller.
+func (e *Env) cgOnly() policy.Policy {
+	return core.New(core.Options{Predictor: e.Predictor(), DisableFG: true})
+}
+
+// computeOnly returns a fresh compute-frequency-only controller.
+func (e *Env) computeOnly() policy.Policy {
+	return core.NewComputeOnly(e.Predictor())
+}
+
+// oracleFor returns the exhaustive ED2 oracle for an application.
+func (e *Env) oracleFor(app *workloads.Application) policy.Policy {
+	return oracle.New(e.Sim, e.Power, app)
+}
+
+// kernelByName finds a catalog kernel.
+func kernelByName(name string) *workloads.Kernel {
+	for _, k := range workloads.AllKernels() {
+		if k.Name == name {
+			return k
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+// Package export serializes session reports, power traces, and
+// experiment results to JSON and CSV, so downstream analysis (plotting
+// the reproduced figures, diffing runs) can happen outside Go.
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"harmonia/internal/daq"
+	"harmonia/internal/experiments"
+	"harmonia/internal/hw"
+	"harmonia/internal/session"
+)
+
+// ReportJSON is the serialized form of a session report.
+type ReportJSON struct {
+	App     string          `json:"app"`
+	Policy  string          `json:"policy"`
+	TimeS   float64         `json:"time_s"`
+	EnergyJ float64         `json:"energy_j"`
+	AvgW    float64         `json:"avg_power_w"`
+	ED2     float64         `json:"ed2"`
+	Rails   RailsJSON       `json:"rails_energy_j"`
+	Runs    []KernelRunJSON `json:"runs"`
+}
+
+// RailsJSON is the per-rail energy decomposition.
+type RailsJSON struct {
+	GPU   float64 `json:"gpu"`
+	Mem   float64 `json:"mem"`
+	Other float64 `json:"other"`
+}
+
+// KernelRunJSON is one serialized kernel invocation.
+type KernelRunJSON struct {
+	Kernel  string  `json:"kernel"`
+	Iter    int     `json:"iter"`
+	CUs     int     `json:"cus"`
+	CUMHz   int     `json:"cu_mhz"`
+	MemMHz  int     `json:"mem_mhz"`
+	TimeS   float64 `json:"time_s"`
+	CardW   float64 `json:"card_w"`
+	VALUPct float64 `json:"valu_busy_pct"`
+	MemPct  float64 `json:"mem_busy_pct"`
+}
+
+// Report converts a session report to its serializable form.
+func Report(r *session.Report) ReportJSON {
+	out := ReportJSON{
+		App:     r.App,
+		Policy:  r.Policy,
+		TimeS:   r.TotalTime(),
+		EnergyJ: r.TotalEnergy(),
+		AvgW:    r.AveragePower(),
+		ED2:     r.ED2(),
+		Rails:   RailsJSON{GPU: r.Energy.GPU, Mem: r.Energy.Mem, Other: r.Energy.Other},
+	}
+	for _, run := range r.Runs {
+		out.Runs = append(out.Runs, KernelRunJSON{
+			Kernel:  run.Kernel,
+			Iter:    run.Iter,
+			CUs:     run.Config.Compute.CUs,
+			CUMHz:   int(run.Config.Compute.Freq),
+			MemMHz:  int(run.Config.Memory.BusFreq),
+			TimeS:   run.Result.Time,
+			CardW:   run.Rails.Card(),
+			VALUPct: run.Result.Counters.VALUBusy,
+			MemPct:  run.Result.Counters.MemUnitBusy,
+		})
+	}
+	return out
+}
+
+// WriteReportJSON writes a session report as indented JSON.
+func WriteReportJSON(w io.Writer, r *session.Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(Report(r)); err != nil {
+		return fmt.Errorf("export: encode report: %w", err)
+	}
+	return nil
+}
+
+// WriteRunsCSV writes the per-invocation rows of a report as CSV with a
+// header line.
+func WriteRunsCSV(w io.Writer, r *session.Report) error {
+	cw := csv.NewWriter(w)
+	header := []string{"kernel", "iter", "cus", "cu_mhz", "mem_mhz", "time_s", "card_w", "valu_busy_pct", "mem_busy_pct"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("export: csv header: %w", err)
+	}
+	for _, run := range r.Runs {
+		rec := []string{
+			run.Kernel,
+			strconv.Itoa(run.Iter),
+			strconv.Itoa(run.Config.Compute.CUs),
+			strconv.Itoa(int(run.Config.Compute.Freq)),
+			strconv.Itoa(int(run.Config.Memory.BusFreq)),
+			formatF(run.Result.Time),
+			formatF(run.Rails.Card()),
+			formatF(run.Result.Counters.VALUBusy),
+			formatF(run.Result.Counters.MemUnitBusy),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("export: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTraceCSV writes the DAQ power-sample stream as CSV (time,
+// per-rail watts, card watts) — the raw material of the paper's power
+// plots.
+func WriteTraceCSV(w io.Writer, trace []daq.Sample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "gpu_w", "mem_w", "other_w", "card_w"}); err != nil {
+		return fmt.Errorf("export: csv header: %w", err)
+	}
+	for _, s := range trace {
+		rec := []string{
+			formatF(s.TimeS),
+			formatF(s.Rails.GPU),
+			formatF(s.Rails.Mem),
+			formatF(s.Rails.Other),
+			formatF(s.Rails.Card()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("export: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ResultsJSON is the serializable form of the Figures 10-13 evaluation.
+type ResultsJSON struct {
+	Apps    []AppResultJSON `json:"apps"`
+	Summary SummaryJSON     `json:"summary"`
+}
+
+// AppResultJSON is one application's normalized outcomes.
+type AppResultJSON struct {
+	App          string  `json:"app"`
+	Stress       bool    `json:"stress"`
+	ED2CG        float64 `json:"ed2_gain_cg"`
+	ED2Harmonia  float64 `json:"ed2_gain_harmonia"`
+	ED2Oracle    float64 `json:"ed2_gain_oracle"`
+	SlowdownHM   float64 `json:"slowdown_harmonia"`
+	PowerSaving  float64 `json:"power_saving_harmonia"`
+	EnergySaving float64 `json:"energy_saving_harmonia"`
+}
+
+// SummaryJSON mirrors experiments.Summary.
+type SummaryJSON struct {
+	ED2CG          float64 `json:"ed2_gain_cg"`
+	ED2Harmonia    float64 `json:"ed2_gain_harmonia"`
+	ED2Harmonia2   float64 `json:"ed2_gain_harmonia_nonstress"`
+	ED2Oracle      float64 `json:"ed2_gain_oracle"`
+	ED2ComputeOnly float64 `json:"ed2_gain_compute_only"`
+	PowerSaving    float64 `json:"power_saving"`
+	EnergySaving   float64 `json:"energy_saving"`
+	Slowdown       float64 `json:"slowdown"`
+	BestApp        string  `json:"best_app"`
+	BestED2        float64 `json:"best_ed2_gain"`
+	OracleGap      float64 `json:"oracle_gap"`
+}
+
+// Results converts per-app experiment results to their serializable form.
+func Results(rs []experiments.AppResult) ResultsJSON {
+	sum := experiments.Summarize(rs)
+	out := ResultsJSON{
+		Summary: SummaryJSON{
+			ED2CG:          sum.ED2CG,
+			ED2Harmonia:    sum.ED2Harmonia,
+			ED2Harmonia2:   sum.ED2Harmonia2,
+			ED2Oracle:      sum.ED2Oracle,
+			ED2ComputeOnly: sum.ED2ComputeOnly,
+			PowerSaving:    sum.PowerSaving,
+			EnergySaving:   sum.EnergySaving,
+			Slowdown:       sum.SlowdownHarmonia,
+			BestApp:        sum.BestED2App,
+			BestED2:        sum.BestED2,
+			OracleGap:      sum.OracleGapHarmonia,
+		},
+	}
+	for _, r := range rs {
+		out.Apps = append(out.Apps, AppResultJSON{
+			App:          r.App,
+			Stress:       r.Stress,
+			ED2CG:        r.ED2Gain(r.CG),
+			ED2Harmonia:  r.ED2Gain(r.Harmonia),
+			ED2Oracle:    r.ED2Gain(r.Oracle),
+			SlowdownHM:   r.Slowdown(r.Harmonia),
+			PowerSaving:  r.PowerGain(r.Harmonia),
+			EnergySaving: r.EnergyGain(r.Harmonia),
+		})
+	}
+	return out
+}
+
+// WriteResultsJSON writes the evaluation results as indented JSON.
+func WriteResultsJSON(w io.Writer, rs []experiments.AppResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(Results(rs)); err != nil {
+		return fmt.Errorf("export: encode results: %w", err)
+	}
+	return nil
+}
+
+// WriteResidencyCSV writes a tunable's residency map as CSV.
+func WriteResidencyCSV(w io.Writer, t hw.Tunable, residency map[int]float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{t.String(), "time_share"}); err != nil {
+		return fmt.Errorf("export: csv header: %w", err)
+	}
+	states := make([]int, 0, len(residency))
+	for s := range residency {
+		states = append(states, s)
+	}
+	// Insertion sort: tiny input, no need for the sort package.
+	for i := 1; i < len(states); i++ {
+		for j := i; j > 0 && states[j] < states[j-1]; j-- {
+			states[j], states[j-1] = states[j-1], states[j]
+		}
+	}
+	for _, s := range states {
+		if err := cw.Write([]string{strconv.Itoa(s), formatF(residency[s])}); err != nil {
+			return fmt.Errorf("export: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'g', 9, 64) }

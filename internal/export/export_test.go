@@ -1,0 +1,144 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"harmonia/internal/experiments"
+	"harmonia/internal/hw"
+	"harmonia/internal/metrics"
+	"harmonia/internal/policy"
+	"harmonia/internal/session"
+	"harmonia/internal/workloads"
+)
+
+func sampleReport(t *testing.T) *session.Report {
+	t.Helper()
+	rep, err := session.New(policy.NewBaseline()).Run(workloads.XSBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := sampleReport(t)
+	var buf bytes.Buffer
+	if err := WriteReportJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var decoded ReportJSON
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.App != "XSBench" || decoded.Policy != "baseline" {
+		t.Errorf("identity lost: %s/%s", decoded.App, decoded.Policy)
+	}
+	if len(decoded.Runs) != len(rep.Runs) {
+		t.Errorf("runs = %d, want %d", len(decoded.Runs), len(rep.Runs))
+	}
+	if decoded.EnergyJ != rep.TotalEnergy() || decoded.ED2 != rep.ED2() {
+		t.Error("metrics lost in serialization")
+	}
+	sum := decoded.Rails.GPU + decoded.Rails.Mem + decoded.Rails.Other
+	if sum != rep.TotalEnergy() {
+		t.Errorf("rail energies %v != total %v", sum, rep.TotalEnergy())
+	}
+}
+
+func TestRunsCSVShape(t *testing.T) {
+	rep := sampleReport(t)
+	var buf bytes.Buffer
+	if err := WriteRunsCSV(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	if len(records) != len(rep.Runs)+1 {
+		t.Fatalf("got %d records, want %d", len(records), len(rep.Runs)+1)
+	}
+	if records[0][0] != "kernel" || len(records[0]) != 9 {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][0] != rep.Runs[0].Kernel {
+		t.Errorf("first row kernel = %v", records[1][0])
+	}
+}
+
+func TestTraceCSV(t *testing.T) {
+	rep := sampleReport(t)
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, rep.Trace); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	if len(records) != len(rep.Trace)+1 {
+		t.Fatalf("got %d records, want %d", len(records), len(rep.Trace)+1)
+	}
+	if strings.Join(records[0], ",") != "time_s,gpu_w,mem_w,other_w,card_w" {
+		t.Errorf("header = %v", records[0])
+	}
+}
+
+func TestResultsJSON(t *testing.T) {
+	// Build a small synthetic result set to avoid the full sweep.
+	rs := []experiments.AppResult{
+		{
+			App:      "Fake",
+			Baseline: metrics.Sample{Seconds: 1, Watts: 200},
+			CG:       metrics.Sample{Seconds: 1.02, Watts: 180},
+			Harmonia: metrics.Sample{Seconds: 1.0, Watts: 176},
+			Oracle:   metrics.Sample{Seconds: 0.99, Watts: 174},
+			ComputeOnly: metrics.Sample{
+				Seconds: 1.0, Watts: 196,
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteResultsJSON(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	var decoded ResultsJSON
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded.Apps) != 1 || decoded.Apps[0].App != "Fake" {
+		t.Fatalf("apps = %+v", decoded.Apps)
+	}
+	// 176W at equal time = 12% ED2 gain.
+	if got := decoded.Apps[0].ED2Harmonia; got < 0.11 || got > 0.13 {
+		t.Errorf("ED2 gain = %v, want ~0.12", got)
+	}
+	if decoded.Summary.BestApp != "Fake" {
+		t.Errorf("summary best app = %q", decoded.Summary.BestApp)
+	}
+}
+
+func TestResidencyCSVSorted(t *testing.T) {
+	var buf bytes.Buffer
+	res := map[int]float64{1375: 0.5, 475: 0.25, 925: 0.25}
+	if err := WriteResidencyCSV(&buf, hw.TunableMemFreq, res); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("records = %v", records)
+	}
+	if records[0][0] != "MemFreq" {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][0] != "475" || records[2][0] != "925" || records[3][0] != "1375" {
+		t.Errorf("states not sorted: %v", records)
+	}
+}

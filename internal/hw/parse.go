@@ -1,0 +1,55 @@
+package hw
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseConfig parses the compact configuration syntax used by the
+// command-line tools: "<cus>/<cufreq>/<memfreq>", e.g. "32/1000/1375" or
+// "16/700/925". It also accepts the String() form
+// ("32CU@1000MHz/mem@1375MHz(264GB/s)") so round-trips work.
+func ParseConfig(s string) (Config, error) {
+	orig := s
+	// Strip the decorated form down to the three numbers.
+	s = strings.TrimSpace(s)
+	if strings.Contains(s, "CU@") {
+		s = strings.ReplaceAll(s, "CU@", "/")
+		s = strings.ReplaceAll(s, "mem@", "")
+		s = strings.ReplaceAll(s, "MHz", "")
+		if i := strings.IndexByte(s, '('); i >= 0 {
+			j := strings.IndexByte(s, ')')
+			if j < i {
+				return Config{}, fmt.Errorf("hw: malformed config %q", orig)
+			}
+			s = s[:i] + s[j+1:]
+		}
+		s = strings.ReplaceAll(s, "//", "/")
+		s = strings.Trim(s, "/")
+	}
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 {
+		return Config{}, fmt.Errorf("hw: config %q: want <cus>/<cufreq>/<memfreq>", orig)
+	}
+	nums := make([]int, 3)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return Config{}, fmt.Errorf("hw: config %q: %q is not a number", orig, p)
+		}
+		nums[i] = v
+	}
+	cfg := Config{
+		Compute: ComputeConfig{CUs: nums[0], Freq: MHz(nums[1])},
+		Memory:  MemConfig{BusFreq: MHz(nums[2])},
+	}
+	if !cfg.Valid() {
+		return Config{}, fmt.Errorf("hw: config %q is not on the legal grid "+
+			"(CUs %d-%d step %d, compute %d-%d step %d MHz, memory %d-%d step %d MHz)",
+			orig, MinCUs, MaxCUs, CUStep,
+			MinCUFreq, MaxCUFreq, CUFreqStep,
+			MinMemFreq, MaxMemFreq, MemFreqStep)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,155 @@
+// Package oracle implements the paper's oracle comparison scheme: for
+// every iteration of every kernel it exhaustively profiles all ~450
+// hardware configurations and picks the one minimizing ED² (Section 7).
+// As the paper notes, the scheme is useful as an evaluation bound but
+// impractical to deploy — here it simply has privileged access to the
+// simulator and power model that a real policy would not.
+package oracle
+
+import (
+	"harmonia/internal/gpusim"
+	"harmonia/internal/hw"
+	"harmonia/internal/power"
+	"harmonia/internal/sweep"
+	"harmonia/internal/workloads"
+)
+
+// Objective selects the figure of merit the oracle minimizes. The paper
+// evaluates against the ED² oracle and notes that ED "yields similar
+// conclusions" (Section 3.4); the energy objective exists for the
+// Figure 6 style comparison.
+type Objective int
+
+const (
+	// MinED2 minimizes energy-delay² (the paper's oracle).
+	MinED2 Objective = iota
+	// MinED minimizes energy-delay.
+	MinED
+	// MinEnergy minimizes energy.
+	MinEnergy
+	// MinTime maximizes performance.
+	MinTime
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MinED2:
+		return "ed2"
+	case MinED:
+		return "ed"
+	case MinEnergy:
+		return "energy"
+	case MinTime:
+		return "time"
+	default:
+		return "unknown"
+	}
+}
+
+// Oracle is the per-kernel-invocation exhaustive-search policy. It
+// implements policy.Policy.
+type Oracle struct {
+	sim       *gpusim.Model
+	pow       *power.Model
+	objective Objective
+	kernels   map[string]*workloads.Kernel
+	space     []hw.Config
+	cache     map[cacheKey]hw.Config
+}
+
+type cacheKey struct {
+	kernel string
+	iter   int
+}
+
+// New returns the ED² oracle for the kernels of the given applications.
+func New(sim *gpusim.Model, pow *power.Model, apps ...*workloads.Application) *Oracle {
+	return NewFor(MinED2, sim, pow, apps...)
+}
+
+// NewFor returns an oracle minimizing the given objective.
+func NewFor(obj Objective, sim *gpusim.Model, pow *power.Model, apps ...*workloads.Application) *Oracle {
+	kernels := make(map[string]*workloads.Kernel)
+	for _, app := range apps {
+		for _, k := range app.Kernels {
+			kernels[k.Name] = k
+		}
+	}
+	return &Oracle{
+		sim:       sim,
+		pow:       pow,
+		objective: obj,
+		kernels:   kernels,
+		space:     hw.ConfigSpace(),
+		cache:     make(map[cacheKey]hw.Config),
+	}
+}
+
+// Name implements policy.Policy.
+func (o *Oracle) Name() string {
+	if o.objective == MinED2 {
+		return "oracle"
+	}
+	return "oracle-" + o.objective.String()
+}
+
+// Decide implements policy.Policy: the ED²-minimal configuration for this
+// exact kernel invocation, found by exhaustive profiling.
+func (o *Oracle) Decide(kernel string, iter int) hw.Config {
+	key := cacheKey{kernel, iter}
+	if cfg, ok := o.cache[key]; ok {
+		return cfg
+	}
+	k, ok := o.kernels[kernel]
+	if !ok {
+		return hw.MaxConfig()
+	}
+	// Exhaustive profiling of the whole configuration space; the
+	// simulator is pure, so the search fans out over a worker pool with
+	// deterministic earliest-index tie-breaking.
+	best, _, ok := sweep.Min(o.space, 0, func(cfg hw.Config) float64 {
+		return o.evaluate(k, iter, cfg)
+	})
+	if !ok {
+		best = hw.MaxConfig()
+	}
+	o.cache[key] = best
+	return best
+}
+
+// Observe implements policy.Policy; the oracle needs no feedback.
+func (*Oracle) Observe(string, int, gpusim.Result) {}
+
+// evaluate scores one kernel invocation at cfg under the objective.
+func (o *Oracle) evaluate(k *workloads.Kernel, iter int, cfg hw.Config) float64 {
+	r := o.sim.Run(k, iter, cfg)
+	rails := o.pow.Rails(cfg, power.Activity{
+		VALUBusyFrac:    r.Counters.VALUBusy / 100,
+		MemUnitBusyFrac: r.Counters.MemUnitBusy / 100,
+		AchievedGBs:     r.AchievedGBs,
+	})
+	energy := rails.Card() * r.Time
+	switch o.objective {
+	case MinED:
+		return energy * r.Time
+	case MinEnergy:
+		return energy
+	case MinTime:
+		return r.Time
+	default:
+		return energy * r.Time * r.Time
+	}
+}
+
+// ed2 evaluates one kernel invocation's energy-delay-squared at cfg,
+// regardless of the oracle's configured objective (used by tests).
+func (o *Oracle) ed2(k *workloads.Kernel, iter int, cfg hw.Config) float64 {
+	r := o.sim.Run(k, iter, cfg)
+	rails := o.pow.Rails(cfg, power.Activity{
+		VALUBusyFrac:    r.Counters.VALUBusy / 100,
+		MemUnitBusyFrac: r.Counters.MemUnitBusy / 100,
+		AchievedGBs:     r.AchievedGBs,
+	})
+	energy := rails.Card() * r.Time
+	return energy * r.Time * r.Time
+}

@@ -1,0 +1,64 @@
+// Package policy defines the runtime power-management policy interface
+// shared by the baseline PowerTune behaviour, the Harmonia controller
+// (internal/core), and the oracle (internal/oracle), plus the baseline
+// itself.
+//
+// A policy is consulted at kernel boundaries, exactly as the paper's
+// implementation is: before each kernel invocation it chooses the
+// hardware configuration, and after the invocation it observes the
+// timing and performance counters the monitoring block sampled
+// (Section 5.1).
+package policy
+
+import (
+	"harmonia/internal/gpusim"
+	"harmonia/internal/hw"
+)
+
+// Policy chooses hardware configurations at kernel boundaries.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Decide returns the configuration to use for the given invocation
+	// of the named kernel.
+	Decide(kernel string, iter int) hw.Config
+	// Observe reports the simulation result of the invocation that
+	// Decide configured. res.Config is the configuration it ran at.
+	Observe(kernel string, iter int, res gpusim.Result)
+}
+
+// Baseline is the stock power-management behaviour of the HD 7970
+// (PowerTune, Section 2.3): with thermal headroom consistently available
+// — as the paper observes for all its workloads — it runs every kernel
+// at the 1 GHz boost state with all CUs enabled and memory at full speed.
+type Baseline struct{}
+
+// NewBaseline returns the baseline policy.
+func NewBaseline() *Baseline { return &Baseline{} }
+
+// Name implements Policy.
+func (*Baseline) Name() string { return "baseline" }
+
+// Decide implements Policy: always the maximum configuration.
+func (*Baseline) Decide(string, int) hw.Config { return hw.MaxConfig() }
+
+// Observe implements Policy: the baseline is open loop.
+func (*Baseline) Observe(string, int, gpusim.Result) {}
+
+// Fixed is a policy pinned to one configuration; useful for design-space
+// exploration and as a building block in experiments.
+type Fixed struct {
+	Cfg hw.Config
+}
+
+// NewFixed returns a policy pinned to cfg.
+func NewFixed(cfg hw.Config) *Fixed { return &Fixed{Cfg: cfg} }
+
+// Name implements Policy.
+func (f *Fixed) Name() string { return "fixed:" + f.Cfg.String() }
+
+// Decide implements Policy.
+func (f *Fixed) Decide(string, int) hw.Config { return f.Cfg }
+
+// Observe implements Policy.
+func (*Fixed) Observe(string, int, gpusim.Result) {}

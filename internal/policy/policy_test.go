@@ -1,0 +1,52 @@
+package policy
+
+import (
+	"testing"
+
+	"harmonia/internal/gpusim"
+	"harmonia/internal/hw"
+)
+
+func TestBaseline(t *testing.T) {
+	b := NewBaseline()
+	if b.Name() != "baseline" {
+		t.Errorf("Name = %q", b.Name())
+	}
+	// The baseline runs everything at the boost state (Section 7.1:
+	// "the baseline power management always runs at the boost frequency
+	// of 1GHz for all applications").
+	for i := 0; i < 5; i++ {
+		if got := b.Decide("k", i); got != hw.MaxConfig() {
+			t.Fatalf("Decide = %v, want max config", got)
+		}
+	}
+	// Observe is open loop; it must not change anything.
+	b.Observe("k", 0, gpusim.Result{})
+	if got := b.Decide("k", 1); got != hw.MaxConfig() {
+		t.Errorf("Decide after Observe = %v", got)
+	}
+}
+
+func TestFixed(t *testing.T) {
+	cfg := hw.Config{
+		Compute: hw.ComputeConfig{CUs: 8, Freq: 500},
+		Memory:  hw.MemConfig{BusFreq: 625},
+	}
+	f := NewFixed(cfg)
+	if got := f.Decide("a", 0); got != cfg {
+		t.Errorf("Decide = %v, want %v", got, cfg)
+	}
+	f.Observe("a", 0, gpusim.Result{})
+	if got := f.Decide("b", 7); got != cfg {
+		t.Errorf("Decide after Observe = %v, want %v", got, cfg)
+	}
+	if f.Name() == "" || f.Name() == NewFixed(hw.MaxConfig()).Name() {
+		t.Errorf("Fixed names should embed the config: %q", f.Name())
+	}
+}
+
+// Compile-time interface checks.
+var (
+	_ Policy = (*Baseline)(nil)
+	_ Policy = (*Fixed)(nil)
+)

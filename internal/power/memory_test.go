@@ -1,0 +1,100 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"harmonia/internal/hw"
+)
+
+func TestMemRailMatchesRailsTotal(t *testing.T) {
+	m := Default()
+	for _, c := range []hw.Config{hw.MinConfig(), hw.MaxConfig(), cfg(16, 700, 925)} {
+		for _, a := range []Activity{{}, busy()} {
+			want := m.Rails(c, a).Mem
+			got := m.MemRail(c, a).Total()
+			if math.Abs(want-got) > 1e-12 {
+				t.Errorf("MemRail total %v != Rails.Mem %v at %v", got, want, c)
+			}
+		}
+	}
+}
+
+func TestMemBreakdownComponents(t *testing.T) {
+	m := Default()
+	b := m.MemRail(hw.MaxConfig(), Activity{AchievedGBs: 200})
+	if b.Background <= 0 || b.PHY <= 0 || b.Access <= 0 {
+		t.Fatalf("non-positive component: %+v", b)
+	}
+	// No traffic -> no access power; background and PHY unchanged.
+	idle := m.MemRail(hw.MaxConfig(), Activity{})
+	if idle.Access != 0 {
+		t.Errorf("idle access power = %v, want 0", idle.Access)
+	}
+	if idle.Background != b.Background || idle.PHY != b.PHY {
+		t.Error("background/PHY depend on traffic")
+	}
+	// Background and PHY fall with bus frequency.
+	low := m.MemRail(cfg(32, 1000, 475), Activity{})
+	if low.Background >= idle.Background || low.PHY >= idle.PHY {
+		t.Errorf("frequency-dependent components did not fall: %+v vs %+v", low, idle)
+	}
+}
+
+func TestMemVoltageAtEndpoints(t *testing.T) {
+	if got := MemVoltageAt(hw.MaxMemFreq); math.Abs(got-hw.MemVoltage) > 1e-12 {
+		t.Errorf("voltage at max = %v, want %v", got, hw.MemVoltage)
+	}
+	if got := MemVoltageAt(hw.MinMemFreq); math.Abs(got-MemVoltageFloor) > 1e-12 {
+		t.Errorf("voltage at min = %v, want %v", got, MemVoltageFloor)
+	}
+	mid := MemVoltageAt(925)
+	if mid <= MemVoltageFloor || mid >= hw.MemVoltage {
+		t.Errorf("mid voltage = %v, want interior", mid)
+	}
+}
+
+func TestMemVoltageScalingWhatIf(t *testing.T) {
+	// Section 7.2: "more memory power saving would be possible if
+	// HD7970's memory interface supports multiple voltages." With the
+	// what-if enabled, memory power at reduced bus frequencies must drop
+	// further than with the fixed rail; at maximum frequency nothing
+	// changes.
+	fixed := Default()
+	params := DefaultParams()
+	params.MemVoltageScaling = true
+	scaled := New(params)
+
+	a := Activity{AchievedGBs: 60}
+	atMaxFixed := fixed.MemRail(hw.MaxConfig(), a).Total()
+	atMaxScaled := scaled.MemRail(hw.MaxConfig(), a).Total()
+	if math.Abs(atMaxFixed-atMaxScaled) > 1e-12 {
+		t.Errorf("voltage scaling changed power at max frequency: %v vs %v", atMaxFixed, atMaxScaled)
+	}
+
+	low := cfg(32, 1000, 475)
+	atMinFixed := fixed.MemRail(low, a).Total()
+	atMinScaled := scaled.MemRail(low, a).Total()
+	if atMinScaled >= atMinFixed {
+		t.Fatalf("voltage scaling saved nothing at 475MHz: %v vs %v", atMinScaled, atMinFixed)
+	}
+	wantRatio := (MemVoltageFloor * MemVoltageFloor) / (hw.MemVoltage * hw.MemVoltage)
+	if got := atMinScaled / atMinFixed; math.Abs(got-wantRatio) > 1e-9 {
+		t.Errorf("scaling ratio at floor = %v, want %v", got, wantRatio)
+	}
+}
+
+func TestMemVoltageScalingMonotone(t *testing.T) {
+	params := DefaultParams()
+	params.MemVoltageScaling = true
+	m := New(params)
+	a := Activity{AchievedGBs: 100}
+	prev := math.Inf(-1)
+	for _, f := range hw.MemFreqs() {
+		p := m.MemRail(cfg(32, 1000, f), a).Total()
+		if p <= prev {
+			t.Errorf("memory power not increasing at %v: %v <= %v", f, p, prev)
+		}
+		prev = p
+	}
+}

@@ -1,0 +1,211 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"harmonia/internal/hw"
+)
+
+func cfg(cus int, cf, mf hw.MHz) hw.Config {
+	return hw.Config{
+		Compute: hw.ComputeConfig{CUs: cus, Freq: cf},
+		Memory:  hw.MemConfig{BusFreq: mf},
+	}
+}
+
+func busy() Activity {
+	return Activity{VALUBusyFrac: 0.8, MemUnitBusyFrac: 0.6, AchievedGBs: 150}
+}
+
+func TestRailsPositiveEverywhere(t *testing.T) {
+	m := Default()
+	for _, c := range hw.ConfigSpace() {
+		for _, a := range []Activity{{}, busy(), {VALUBusyFrac: 1, MemUnitBusyFrac: 1, AchievedGBs: 264}} {
+			r := m.Rails(c, a)
+			if r.GPU <= 0 || r.Mem <= 0 || r.Other <= 0 {
+				t.Fatalf("non-positive rail at %v %+v: %+v", c, a, r)
+			}
+			if math.IsNaN(r.Card()) || math.IsInf(r.Card(), 0) {
+				t.Fatalf("bad card power at %v: %v", c, r.Card())
+			}
+		}
+	}
+}
+
+func TestCardIsSumOfRails(t *testing.T) {
+	r := Rails{GPU: 100, Mem: 50, Other: 30}
+	if r.Card() != 180 {
+		t.Errorf("Card = %v, want 180", r.Card())
+	}
+}
+
+func TestPowerMonotoneInTunables(t *testing.T) {
+	// At fixed activity, raising any tunable must raise card power.
+	m := Default()
+	a := busy()
+	for _, base := range hw.ConfigSpace() {
+		for _, tu := range hw.Tunables() {
+			if up, ok := tu.Step(base, hw.Up); ok {
+				if m.Rails(up, a).Card() <= m.Rails(base, a).Card() {
+					t.Fatalf("raising %v at %v did not raise power", tu, base)
+				}
+			}
+		}
+	}
+}
+
+func TestPowerGatingSavesCUPower(t *testing.T) {
+	m := Default()
+	a := busy()
+	full := m.Rails(cfg(32, 1000, 1375), a)
+	gated := m.Rails(cfg(8, 1000, 1375), a)
+	if gated.GPU >= full.GPU {
+		t.Error("gating 24 CUs did not reduce GPU power")
+	}
+	// Memory rail must be unaffected by CU gating.
+	if gated.Mem != full.Mem {
+		t.Errorf("CU gating changed memory power: %v vs %v", gated.Mem, full.Mem)
+	}
+	// Gated CUs still draw a small residual: compare to a hypothetical
+	// linear scale-down.
+	perCU := (full.GPU - gated.GPU) / 24
+	if perCU <= 0 || perCU > 6 {
+		t.Errorf("per-CU power %v W implausible", perCU)
+	}
+}
+
+func TestActivityRaisesPower(t *testing.T) {
+	m := Default()
+	c := cfg(32, 925, 1375)
+	idle := m.Rails(c, Activity{})
+	loaded := m.Rails(c, busy())
+	if loaded.GPU <= idle.GPU {
+		t.Error("activity did not raise GPU power")
+	}
+	if loaded.Mem <= idle.Mem {
+		t.Error("traffic did not raise memory power")
+	}
+	if loaded.Other != idle.Other {
+		t.Error("OtherPwr must be constant (fan pinned at max RPM)")
+	}
+}
+
+func TestMemoryIntensiveBreakdownShape(t *testing.T) {
+	// Figure 1: for a memory-intensive workload at the stock
+	// configuration, memory is a major consumer — between 20% and 45%
+	// of card power — and GPU chip the largest.
+	m := Default()
+	r := m.Rails(hw.MaxConfig(), Activity{VALUBusyFrac: 0.35, MemUnitBusyFrac: 1.0, AchievedGBs: 220})
+	memShare := r.Mem / r.Card()
+	gpuShare := r.GPU / r.Card()
+	if memShare < 0.20 || memShare > 0.45 {
+		t.Errorf("memory share = %.0f%%, want 20-45%% (Figure 1)", memShare*100)
+	}
+	if gpuShare <= memShare {
+		t.Errorf("GPU share (%.0f%%) should exceed memory share (%.0f%%)", gpuShare*100, memShare*100)
+	}
+	// Plausible absolute magnitude for a 250W-class card.
+	if r.Card() < 120 || r.Card() > 280 {
+		t.Errorf("card power = %.0f W implausible", r.Card())
+	}
+}
+
+func TestMemFrequencyRangeMovesBoardPowerModestly(t *testing.T) {
+	// Figure 5: at maximum compute with little traffic, the full memory
+	// frequency range moves board power by roughly 10%.
+	m := Default()
+	a := Activity{VALUBusyFrac: 1, MemUnitBusyFrac: 0.05, AchievedGBs: 5}
+	hi := m.Rails(cfg(32, 1000, 1375), a).Card()
+	lo := m.Rails(cfg(32, 1000, 475), a).Card()
+	variation := (hi - lo) / hi
+	if variation < 0.05 || variation > 0.20 {
+		t.Errorf("memory-range power variation = %.1f%%, want ~10%%", variation*100)
+	}
+}
+
+func TestComputeRangeMovesBoardPowerStrongly(t *testing.T) {
+	// Figure 4: across compute configurations at maximum memory
+	// bandwidth, board power varies on the order of 70%.
+	m := Default()
+	hi := m.Rails(cfg(32, 1000, 1375), Activity{VALUBusyFrac: 0.4, MemUnitBusyFrac: 1, AchievedGBs: 220}).Card()
+	lo := m.Rails(cfg(4, 300, 1375), Activity{VALUBusyFrac: 1, MemUnitBusyFrac: 0.3, AchievedGBs: 25}).Card()
+	variation := (hi - lo) / lo
+	if variation < 0.4 || variation > 2.0 {
+		t.Errorf("compute-range power variation = %.0f%%, want large (paper: ~70%%)", variation*100)
+	}
+}
+
+func TestTerminationUpturn(t *testing.T) {
+	// Per-byte access energy rises at lower bus frequency: compare
+	// memory power at equal traffic, minus background/PHY deltas.
+	p := DefaultParams()
+	m := New(p)
+	a := Activity{AchievedGBs: 80}
+	aZero := Activity{AchievedGBs: 0}
+	accessHi := m.Rails(cfg(32, 1000, 1375), a).Mem - m.Rails(cfg(32, 1000, 1375), aZero).Mem
+	accessLo := m.Rails(cfg(32, 1000, 475), a).Mem - m.Rails(cfg(32, 1000, 475), aZero).Mem
+	if accessLo <= accessHi {
+		t.Errorf("access energy at 475MHz (%v W) should exceed 1375MHz (%v W)", accessLo, accessHi)
+	}
+	ratio := accessLo / accessHi
+	want := 1 + p.TerminationUpturn*(1375.0/475.0-1)
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("upturn ratio = %v, want %v", ratio, want)
+	}
+}
+
+func TestVoltageScalingDominatesFrequency(t *testing.T) {
+	// Dynamic power scales as V²f: the 300->1000 MHz sweep spans the
+	// 0.85->1.19V DVFS range too, so the dynamic component rises ~6.5x.
+	// Leakage and base power dilute the chip-level ratio; it should
+	// still be well above the pure-frequency ratio would suggest for a
+	// leakage-dominated chip, and below the dynamic-only 6.5x.
+	m := Default()
+	a := Activity{VALUBusyFrac: 1, MemUnitBusyFrac: 0.2, AchievedGBs: 10}
+	p300 := m.Rails(cfg(32, 300, 1375), a).GPU
+	p1000 := m.Rails(cfg(32, 1000, 1375), a).GPU
+	ratio := p1000 / p300
+	if ratio < 2.2 || ratio > 6.5 {
+		t.Errorf("GPU power ratio 1000/300MHz = %.2f, want in (2.2, 6.5)", ratio)
+	}
+}
+
+func TestActivityClamping(t *testing.T) {
+	m := Default()
+	c := hw.MaxConfig()
+	over := m.Rails(c, Activity{VALUBusyFrac: 5, MemUnitBusyFrac: 5, AchievedGBs: 100})
+	max := m.Rails(c, Activity{VALUBusyFrac: 1, MemUnitBusyFrac: 1, AchievedGBs: 100})
+	if over.Card() != max.Card() {
+		t.Errorf("activity not clamped: %v vs %v", over.Card(), max.Card())
+	}
+	neg := m.Rails(c, Activity{VALUBusyFrac: -1, MemUnitBusyFrac: -1, AchievedGBs: -50})
+	idle := m.Rails(c, Activity{})
+	if neg.Card() != idle.Card() {
+		t.Errorf("negative activity not clamped: %v vs %v", neg.Card(), idle.Card())
+	}
+}
+
+// Property: power is monotone non-decreasing in each activity component.
+func TestPowerMonotoneInActivityProperty(t *testing.T) {
+	m := Default()
+	c := cfg(16, 700, 925)
+	f := func(v1, m1, g1, v2, m2, g2 uint8) bool {
+		a := Activity{float64(v1) / 255, float64(m1) / 255, float64(g1)}
+		b := Activity{float64(v2) / 255, float64(m2) / 255, float64(g2)}
+		if a.VALUBusyFrac > b.VALUBusyFrac {
+			a.VALUBusyFrac, b.VALUBusyFrac = b.VALUBusyFrac, a.VALUBusyFrac
+		}
+		if a.MemUnitBusyFrac > b.MemUnitBusyFrac {
+			a.MemUnitBusyFrac, b.MemUnitBusyFrac = b.MemUnitBusyFrac, a.MemUnitBusyFrac
+		}
+		if a.AchievedGBs > b.AchievedGBs {
+			a.AchievedGBs, b.AchievedGBs = b.AchievedGBs, a.AchievedGBs
+		}
+		return m.Rails(c, b).Card() >= m.Rails(c, a).Card()-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,278 @@
+package sensitivity
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"harmonia/internal/gpusim"
+	"harmonia/internal/workloads"
+)
+
+// The training sweeps cover the whole configuration space; share one
+// instance across tests. trainPts holds the per-kernel averaged points
+// (the paper's Section 4.2 reduction, used by the Table 3 experiment);
+// trainPred is the shipped runtime predictor, trained per-configuration
+// like DefaultPredictor.
+var (
+	trainOnce sync.Once
+	trainPts  []TrainingPoint
+	trainPred *Predictor
+)
+
+func trained(t *testing.T) ([]TrainingPoint, *Predictor) {
+	t.Helper()
+	trainOnce.Do(func() {
+		m := gpusim.Default()
+		trainPts = BuildTrainingSet(m, workloads.AllKernels())
+		var err error
+		trainPred, err = Train(BuildConfigTrainingSet(m, workloads.AllKernels()))
+		if err != nil {
+			t.Fatalf("training failed: %v", err)
+		}
+	})
+	return trainPts, trainPred
+}
+
+func point(t *testing.T, pts []TrainingPoint, kernel string) TrainingPoint {
+	t.Helper()
+	for _, p := range pts {
+		if p.Kernel == kernel {
+			return p
+		}
+	}
+	t.Fatalf("no training point for %q", kernel)
+	return TrainingPoint{}
+}
+
+func TestBinOf(t *testing.T) {
+	cases := []struct {
+		s    float64
+		want Bin
+	}{
+		{-0.2, Low}, {0, Low}, {0.29, Low},
+		{0.30, Med}, {0.5, Med}, {0.70, Med},
+		{0.71, High}, {1.2, High},
+	}
+	for _, c := range cases {
+		if got := BinOf(c.s); got != c.want {
+			t.Errorf("BinOf(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestBinString(t *testing.T) {
+	if Low.String() != "LOW" || Med.String() != "MED" || High.String() != "HIGH" {
+		t.Error("bin strings wrong")
+	}
+	if Bin(9).String() != "Bin(9)" {
+		t.Error("unknown bin string wrong")
+	}
+}
+
+func TestSensitivityOfEndpoints(t *testing.T) {
+	// Perfectly sensitive: halving the tunable doubles the time.
+	if got := sensitivityOf(2, 1, 2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect sensitivity = %v, want 1", got)
+	}
+	// Insensitive: time unchanged.
+	if got := sensitivityOf(1, 1, 2); got != 0 {
+		t.Errorf("insensitive = %v, want 0", got)
+	}
+	// Inverse benefit (thrashing): lower tunable is faster.
+	if got := sensitivityOf(0.5, 1, 2); got >= 0 {
+		t.Errorf("thrashing sensitivity = %v, want negative", got)
+	}
+	// Degenerate inputs.
+	if got := sensitivityOf(1, 0, 2); got != 0 {
+		t.Errorf("zero baseline = %v, want 0", got)
+	}
+	if got := sensitivityOf(1, 1, 1); got != 0 {
+		t.Errorf("ratio 1 = %v, want 0", got)
+	}
+}
+
+func TestMeasuredSensitivitiesMatchPaperCharacterization(t *testing.T) {
+	m := gpusim.Default()
+	byName := map[string]Measurement{}
+	for _, k := range workloads.AllKernels() {
+		byName[k.Name] = Measure(m, k)
+	}
+
+	// MaxFlops: fully compute sensitive, bandwidth insensitive (Fig 3a).
+	mf := byName["MaxFlops.Main"]
+	if mf.Compute < 0.9 || mf.Bandwidth > 0.05 {
+		t.Errorf("MaxFlops sensitivities = %+v", mf)
+	}
+	// DeviceMemory: strongly bandwidth sensitive (Fig 3b).
+	dm := byName["DeviceMemory.Stream"]
+	if dm.Bandwidth < 0.7 {
+		t.Errorf("DeviceMemory bandwidth sensitivity = %v, want high", dm.Bandwidth)
+	}
+	// Sort.BottomScan: high compute, zero bandwidth sensitivity
+	// (Sections 3.5 and 7.1).
+	bs := byName["Sort.BottomScan"]
+	if bs.CUs < 0.7 || bs.Bandwidth > 0.05 {
+		t.Errorf("BottomScan sensitivities = %+v", bs)
+	}
+	// CoMD.AdvanceVelocity: high bandwidth sensitivity (Fig 7),
+	// much higher than BottomScan's.
+	av := byName["CoMD.AdvanceVelocity"]
+	if av.Bandwidth < 0.7 || av.Bandwidth <= bs.Bandwidth {
+		t.Errorf("AdvanceVelocity bandwidth sensitivity = %v", av.Bandwidth)
+	}
+	// SRAD.Prepare: tiny divergent kernel -> low compute sensitivity
+	// despite 75% divergence (Fig 8); BottomScan (6% divergence, >2M
+	// instructions) must be far more compute sensitive.
+	sp := byName["SRAD.Prepare"]
+	if sp.CUFreq > 0.35 {
+		t.Errorf("SRAD.Prepare compute-freq sensitivity = %v, want low", sp.CUFreq)
+	}
+	if bs.CUFreq <= sp.CUFreq {
+		t.Errorf("BottomScan (%v) should be more freq sensitive than SRAD.Prepare (%v)",
+			bs.CUFreq, sp.CUFreq)
+	}
+	// DeviceMemory: despite being memory bound, compute frequency
+	// matters through the clock-domain crossing (Fig 9).
+	if dm.CUFreq < 0.3 {
+		t.Errorf("DeviceMemory compute-freq sensitivity = %v, want material (Fig 9)", dm.CUFreq)
+	}
+}
+
+func TestTrainedPredictorAccuracy(t *testing.T) {
+	pts, pred := trained(t)
+	acc := Evaluate(pred, pts)
+	// The paper reports 3.03% / 5.71% on hardware; require the same
+	// order of magnitude on the simulated platform.
+	if acc.BandwidthMAE > 0.10 {
+		t.Errorf("bandwidth MAE = %.3f, want < 0.10", acc.BandwidthMAE)
+	}
+	if acc.ComputeMAE > 0.15 {
+		t.Errorf("compute MAE = %.3f, want < 0.15", acc.ComputeMAE)
+	}
+	if acc.CUsMAE > 0.10 || acc.CUFreqMAE > 0.10 {
+		t.Errorf("per-tunable MAE = %.3f / %.3f, want < 0.10", acc.CUsMAE, acc.CUFreqMAE)
+	}
+	// Model-quality correlation comparable to the paper's 0.91/0.96.
+	if pred.Bandwidth.Corr < 0.9 {
+		t.Errorf("bandwidth model correlation = %.3f, want > 0.9", pred.Bandwidth.Corr)
+	}
+	if pred.Compute.Corr < 0.7 {
+		t.Errorf("compute model correlation = %.3f, want > 0.7", pred.Compute.Corr)
+	}
+}
+
+func TestPredictedBinsMatchKeyBehaviours(t *testing.T) {
+	pts, pred := trained(t)
+	bins := func(k string) Bins { return pred.PredictBins(point(t, pts, k).Features) }
+
+	if b := bins("MaxFlops.Main"); b.CUs != High || b.CUFreq != High || b.MemFreq != Low {
+		t.Errorf("MaxFlops bins = %+v, want HIGH/HIGH/LOW", b)
+	}
+	if b := bins("Sort.BottomScan"); b.CUs != High || b.MemFreq != Low {
+		t.Errorf("BottomScan bins = %+v, want HIGH CU, LOW mem", b)
+	}
+	if b := bins("CoMD.AdvanceVelocity"); b.MemFreq != High || b.CUs != Low {
+		t.Errorf("AdvanceVelocity bins = %+v, want LOW CU, HIGH mem", b)
+	}
+	if b := bins("CoMD.EAM_Force_1"); b.MemFreq != Low {
+		t.Errorf("EAM_Force_1 mem bin = %v, want LOW (Section 7.1)", b.MemFreq)
+	}
+	// Graph500's main kernel: pinned compute, medium memory (Fig 16).
+	if b := bins("Graph500.BottomStepUp"); b.CUs != High || b.CUFreq != High || b.MemFreq == High {
+		t.Errorf("BottomStepUp bins = %+v, want HIGH/HIGH/non-HIGH", b)
+	}
+	// Thrashing apps: CU bin must be LOW so CG power-gates (Section 7.1).
+	for _, k := range []string{"BPT.FindK", "XSBench.Lookup"} {
+		if b := bins(k); b.CUs != Low {
+			t.Errorf("%s CU bin = %v, want LOW", k, b.CUs)
+		}
+	}
+}
+
+func TestStreamclusterEdgeOfBinMiss(t *testing.T) {
+	// Section 7.1: Streamcluster's CG slowdown comes from a prediction
+	// "narrowly missing the HIGH bin". Verify the trained model
+	// reproduces that: true CU sensitivity is HIGH, predicted is MED but
+	// close to the boundary.
+	pts, pred := trained(t)
+	pt := point(t, pts, "Streamcluster.PGain")
+	if got := BinOf(pt.Truth.CUs); got != High {
+		t.Fatalf("true CU sensitivity bin = %v (%.3f), want HIGH", got, pt.Truth.CUs)
+	}
+	pCU := pred.PredictCUs(pt.Features)
+	if BinOf(pCU) != Med {
+		t.Fatalf("predicted CU sensitivity = %.3f (bin %v), want a MED near-miss", pCU, BinOf(pCU))
+	}
+	if HighThreshold-pCU > 0.15 {
+		t.Errorf("predicted CU sensitivity %.3f misses HIGH bin by %.3f; want narrow", pCU, HighThreshold-pCU)
+	}
+}
+
+func TestPaperModelShape(t *testing.T) {
+	p := PaperModel()
+	if len(p.Bandwidth.Coeffs) != 7 {
+		t.Errorf("paper bandwidth model has %d coefficients, want 7 (Table 3)", len(p.Bandwidth.Coeffs))
+	}
+	if len(p.Compute.Coeffs) != 3 {
+		t.Errorf("paper compute model has %d coefficients, want 3 (Table 3)", len(p.Compute.Coeffs))
+	}
+	if p.Bandwidth.Intercept != -0.42 || p.Compute.Intercept != 0.06 {
+		t.Error("paper model intercepts do not match Table 3")
+	}
+	// Per-tunable models are absent: predictions fall back to the
+	// aggregate compute model.
+	pts, _ := trained(t)
+	cs := point(t, pts, "MaxFlops.Main").Features
+	if p.PredictCUs(cs) != p.PredictCompute(cs) {
+		t.Error("PaperModel CU prediction should fall back to compute model")
+	}
+	if p.PredictCUFreq(cs) != p.PredictCompute(cs) {
+		t.Error("PaperModel CU-freq prediction should fall back to compute model")
+	}
+}
+
+func TestPredictionClamping(t *testing.T) {
+	// Predictions must stay within the clamp range even on absurd
+	// counter values.
+	pts, pred := trained(t)
+	base := point(t, pts, "MaxFlops.Main").Features
+	f := func(a, b, c uint8) bool {
+		cs := base
+		cs.ICActivity = float64(a) / 25.5 // up to 10: out of range on purpose
+		cs.MemUnitBusy = float64(b) * 10
+		cs.VALUBusy = float64(c) * 10
+		for _, v := range []float64{
+			pred.PredictBandwidth(cs), pred.PredictCompute(cs),
+			pred.PredictCUs(cs), pred.PredictCUFreq(cs),
+		} {
+			if v < -0.5 || v > 1.5 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrainEmptySet(t *testing.T) {
+	if _, err := Train(nil); err == nil {
+		t.Error("training on empty set should fail")
+	}
+}
+
+func TestTrainingSetShape(t *testing.T) {
+	pts, _ := trained(t)
+	if len(pts) != len(workloads.AllKernels()) {
+		t.Fatalf("training set has %d points, want one per kernel (%d)",
+			len(pts), len(workloads.AllKernels()))
+	}
+	for _, pt := range pts {
+		if err := pt.Features.Validate(); err != nil {
+			t.Errorf("%s: invalid averaged features: %v", pt.Kernel, err)
+		}
+	}
+}

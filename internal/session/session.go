@@ -1,0 +1,200 @@
+// Package session executes applications on the simulated platform under
+// a power-management policy, reproducing the paper's measurement loop:
+// kernels run iteration by iteration, the policy is consulted at every
+// kernel boundary (Section 5.1), power is sampled at 1 kHz by the DAQ
+// (Section 6), and the report aggregates the timing, energy, power-rail,
+// and configuration-residency data the result figures are built from.
+package session
+
+import (
+	"fmt"
+
+	"harmonia/internal/daq"
+	"harmonia/internal/gpusim"
+	"harmonia/internal/hw"
+	"harmonia/internal/metrics"
+	"harmonia/internal/policy"
+	"harmonia/internal/power"
+	"harmonia/internal/workloads"
+)
+
+// Session binds a simulator, a power model, and a policy.
+type Session struct {
+	Sim    *gpusim.Model
+	Power  *power.Model
+	Policy policy.Policy
+	// DAQRateHz is the power sampling rate; zero uses the paper's 1 kHz.
+	DAQRateHz float64
+}
+
+// New returns a session with default simulator and power model.
+func New(p policy.Policy) *Session {
+	return &Session{Sim: gpusim.Default(), Power: power.Default(), Policy: p}
+}
+
+// KernelRun records one kernel invocation.
+type KernelRun struct {
+	Kernel string
+	Iter   int
+	Config hw.Config
+	Result gpusim.Result
+	Rails  power.Rails
+}
+
+// Sample returns the invocation as a metrics sample (time at card power).
+func (r KernelRun) Sample() metrics.Sample {
+	return metrics.Sample{Seconds: r.Result.Time, Watts: r.Rails.Card()}
+}
+
+// Report is the outcome of running one application under one policy.
+type Report struct {
+	App    string
+	Policy string
+	Runs   []KernelRun
+	// Energy is the exact integrated per-rail energy.
+	Energy daq.Energy
+	// Trace is the DAQ's 1 kHz power sample stream.
+	Trace []daq.Sample
+}
+
+// Run executes the application to completion and returns the report.
+func (s *Session) Run(app *workloads.Application) (*Report, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	rec := daq.New(s.DAQRateHz)
+	rep := &Report{App: app.Name, Policy: s.Policy.Name()}
+	for iter := 0; iter < app.Iterations; iter++ {
+		for _, k := range app.Kernels {
+			cfg := s.Policy.Decide(k.Name, iter)
+			if !cfg.Valid() {
+				return nil, fmt.Errorf("session: policy %s returned invalid config %v for %s",
+					s.Policy.Name(), cfg, k.Name)
+			}
+			res := s.Sim.Run(k, iter, cfg)
+			rails := s.Power.Rails(cfg, power.Activity{
+				VALUBusyFrac:    res.Counters.VALUBusy / 100,
+				MemUnitBusyFrac: res.Counters.MemUnitBusy / 100,
+				AchievedGBs:     res.AchievedGBs,
+			})
+			rec.Observe(res.Time, rails)
+			s.Policy.Observe(k.Name, iter, res)
+			rep.Runs = append(rep.Runs, KernelRun{
+				Kernel: k.Name, Iter: iter, Config: cfg, Result: res, Rails: rails,
+			})
+		}
+	}
+	rep.Energy = rec.Energy()
+	rep.Trace = rec.Samples()
+	return rep, nil
+}
+
+// TotalTime returns application execution time in seconds.
+func (r *Report) TotalTime() float64 {
+	sum := 0.0
+	for _, run := range r.Runs {
+		sum += run.Result.Time
+	}
+	return sum
+}
+
+// TotalEnergy returns total card energy in joules.
+func (r *Report) TotalEnergy() float64 { return r.Energy.Total() }
+
+// AveragePower returns mean card power in watts.
+func (r *Report) AveragePower() float64 {
+	t := r.TotalTime()
+	if t <= 0 {
+		return 0
+	}
+	return r.TotalEnergy() / t
+}
+
+// Sample returns the whole run as a metrics sample.
+func (r *Report) Sample() metrics.Sample {
+	return metrics.Sample{Seconds: r.TotalTime(), Watts: r.AveragePower()}
+}
+
+// ED2 returns the application's energy-delay-squared product.
+func (r *Report) ED2() float64 { return r.Sample().ED2() }
+
+// ED returns the application's energy-delay product.
+func (r *Report) ED() float64 { return r.Sample().ED() }
+
+// KernelSample aggregates the runs of one kernel into a metrics sample.
+func (r *Report) KernelSample(kernel string) metrics.Sample {
+	var out metrics.Sample
+	for _, run := range r.Runs {
+		if run.Kernel == kernel {
+			out = out.Add(run.Sample())
+		}
+	}
+	return out
+}
+
+// Residency returns the fraction of execution time each value of the
+// tunable was in effect (the quantity of Figures 15-16). Keys are tunable
+// values (CU count, or MHz).
+func (r *Report) Residency(t hw.Tunable) map[int]float64 {
+	total := r.TotalTime()
+	out := make(map[int]float64)
+	if total <= 0 {
+		return out
+	}
+	for _, run := range r.Runs {
+		out[t.Value(run.Config)] += run.Result.Time / total
+	}
+	return out
+}
+
+// KernelResidency is Residency restricted to one kernel's invocations.
+func (r *Report) KernelResidency(kernel string, t hw.Tunable) map[int]float64 {
+	total := 0.0
+	for _, run := range r.Runs {
+		if run.Kernel == kernel {
+			total += run.Result.Time
+		}
+	}
+	out := make(map[int]float64)
+	if total <= 0 {
+		return out
+	}
+	for _, run := range r.Runs {
+		if run.Kernel == kernel {
+			out[t.Value(run.Config)] += run.Result.Time / total
+		}
+	}
+	return out
+}
+
+// Comparison holds one application's results under the evaluated policies,
+// normalized the way the paper's Figures 10-13 are: ratios of the policy
+// metric to the baseline metric.
+type Comparison struct {
+	App      string
+	Baseline metrics.Sample
+	Policies map[string]metrics.Sample
+}
+
+// Compare runs the application under the baseline and each given policy
+// factory, returning the comparison. Policies are constructed fresh per
+// application so no state leaks between apps.
+func Compare(app *workloads.Application, factories map[string]func() policy.Policy) (*Comparison, error) {
+	base, err := New(policy.NewBaseline()).Run(app)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &Comparison{
+		App:      app.Name,
+		Baseline: base.Sample(),
+		Policies: make(map[string]metrics.Sample),
+	}
+	for name, factory := range factories {
+		rep, err := New(factory()).Run(app)
+		if err != nil {
+			return nil, err
+		}
+		cmp.Policies[name] = rep.Sample()
+	}
+	return cmp, nil
+}

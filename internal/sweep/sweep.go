@@ -1,0 +1,102 @@
+// Package sweep evaluates functions over the hardware configuration
+// space in parallel. The paper's methodology is built on exhaustive
+// sweeps — 448 configurations per kernel for sensitivity measurement
+// (Section 4.1), oracle search (Section 7), and the balance and metric
+// explorations of Section 3 — and the simulator is pure, so the sweeps
+// parallelize perfectly across a worker pool.
+//
+// All functions are deterministic: results are assembled in input order
+// and minima are resolved to the earliest index, so parallel and serial
+// execution produce identical answers.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+
+	"harmonia/internal/hw"
+)
+
+// Eval scores one configuration.
+type Eval func(cfg hw.Config) float64
+
+// workersOrDefault clamps the worker count.
+func workersOrDefault(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Map evaluates eval at every configuration in space, in parallel,
+// returning values in input order.
+func Map(space []hw.Config, workers int, eval Eval) []float64 {
+	out := make([]float64, len(space))
+	if len(space) == 0 {
+		return out
+	}
+	workers = workersOrDefault(workers, len(space))
+	if workers == 1 {
+		for i, cfg := range space {
+			out[i] = eval(cfg)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = eval(space[i])
+			}
+		}()
+	}
+	for i := range space {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Min returns the configuration with the smallest value and that value,
+// ties resolved to the earliest configuration in space. It returns false
+// when space is empty.
+func Min(space []hw.Config, workers int, eval Eval) (hw.Config, float64, bool) {
+	if len(space) == 0 {
+		return hw.Config{}, 0, false
+	}
+	vals := Map(space, workers, eval)
+	bestI := 0
+	for i, v := range vals {
+		if v < vals[bestI] {
+			bestI = i
+		}
+	}
+	return space[bestI], vals[bestI], true
+}
+
+// Result pairs a configuration with its value.
+type Result struct {
+	Config hw.Config
+	Value  float64
+}
+
+// All evaluates the whole space and returns (config, value) pairs in
+// input order.
+func All(space []hw.Config, workers int, eval Eval) []Result {
+	vals := Map(space, workers, eval)
+	out := make([]Result, len(space))
+	for i := range space {
+		out[i] = Result{Config: space[i], Value: vals[i]}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package sweep
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"harmonia/internal/gpusim"
+	"harmonia/internal/hw"
+	"harmonia/internal/workloads"
+)
+
+func score(cfg hw.Config) float64 {
+	// An arbitrary deterministic function with a unique minimum.
+	return math.Abs(float64(cfg.Compute.CUs)-16) +
+		math.Abs(float64(cfg.Compute.Freq)-700)/100 +
+		math.Abs(float64(cfg.Memory.BusFreq)-925)/150
+}
+
+func TestMapMatchesSerial(t *testing.T) {
+	space := hw.ConfigSpace()
+	serial := Map(space, 1, score)
+	parallel := Map(space, 8, score)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("index %d: serial %v parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestMinFindsGlobalMinimum(t *testing.T) {
+	space := hw.ConfigSpace()
+	cfg, val, ok := Min(space, 0, score)
+	if !ok {
+		t.Fatal("Min on non-empty space returned false")
+	}
+	want := hw.Config{
+		Compute: hw.ComputeConfig{CUs: 16, Freq: 700},
+		Memory:  hw.MemConfig{BusFreq: 925},
+	}
+	if cfg != want || val != 0 {
+		t.Errorf("Min = %v (%v), want %v (0)", cfg, val, want)
+	}
+}
+
+func TestMinTieBreaksToEarliest(t *testing.T) {
+	space := hw.ConfigSpace()
+	cfg, _, ok := Min(space, 8, func(hw.Config) float64 { return 7 })
+	if !ok || cfg != space[0] {
+		t.Errorf("tie not broken to earliest: %v", cfg)
+	}
+}
+
+func TestEmptySpace(t *testing.T) {
+	if _, _, ok := Min(nil, 4, score); ok {
+		t.Error("Min on empty space returned true")
+	}
+	if got := Map(nil, 4, score); len(got) != 0 {
+		t.Error("Map on empty space returned values")
+	}
+}
+
+func TestAllPreservesOrder(t *testing.T) {
+	space := hw.ConfigSpace()[:20]
+	rs := All(space, 4, score)
+	for i, r := range rs {
+		if r.Config != space[i] {
+			t.Fatalf("index %d out of order", i)
+		}
+		if r.Value != score(space[i]) {
+			t.Fatalf("index %d wrong value", i)
+		}
+	}
+}
+
+func TestEveryConfigEvaluatedExactlyOnce(t *testing.T) {
+	space := hw.ConfigSpace()
+	var calls int64
+	Map(space, 16, func(cfg hw.Config) float64 {
+		atomic.AddInt64(&calls, 1)
+		return 0
+	})
+	if calls != int64(len(space)) {
+		t.Errorf("eval called %d times for %d configs", calls, len(space))
+	}
+}
+
+// Property: parallel Min equals serial Min for arbitrary worker counts.
+func TestParallelSerialEquivalenceProperty(t *testing.T) {
+	space := hw.ConfigSpace()
+	f := func(workers uint8) bool {
+		c1, v1, _ := Min(space, 1, score)
+		c2, v2, _ := Min(space, int(workers%32), score)
+		return c1 == c2 && v1 == v2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelSimulatorSweepIsSafe(t *testing.T) {
+	// The simulator must be safe for concurrent read-only use: sweep a
+	// real kernel with many workers and compare to serial. Run with
+	// -race in CI to catch data races.
+	sim := gpusim.Default()
+	var k *workloads.Kernel
+	for _, kk := range workloads.AllKernels() {
+		if kk.Name == "SRAD.Main" {
+			k = kk
+		}
+	}
+	eval := func(cfg hw.Config) float64 { return sim.Run(k, 0, cfg).Time }
+	space := hw.ConfigSpace()
+	serial := Map(space, 1, eval)
+	parallel := Map(space, 12, eval)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("index %d: parallel simulation diverged", i)
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B) {
+	sim := gpusim.Default()
+	k := workloads.AllKernels()[0]
+	space := hw.ConfigSpace()
+	eval := func(cfg hw.Config) float64 { return sim.Run(k, 0, cfg).Time }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Map(space, 1, eval)
+	}
+}
+
+func BenchmarkSweepParallel(b *testing.B) {
+	sim := gpusim.Default()
+	k := workloads.AllKernels()[0]
+	space := hw.ConfigSpace()
+	eval := func(cfg hw.Config) float64 { return sim.Run(k, 0, cfg).Time }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Map(space, 0, eval)
+	}
+}

@@ -1,0 +1,179 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"harmonia/internal/gpusim"
+	"harmonia/internal/hw"
+	"harmonia/internal/policy"
+	"harmonia/internal/power"
+	"harmonia/internal/session"
+	"harmonia/internal/workloads"
+)
+
+func TestSteadyState(t *testing.T) {
+	m := New(DefaultParams())
+	if got := m.SteadyC(100); math.Abs(got-(40+35)) > 1e-9 {
+		t.Errorf("steady at 100W = %v, want 75", got)
+	}
+	if m.TempC() != 40 {
+		t.Errorf("initial temp = %v, want ambient", m.TempC())
+	}
+}
+
+func TestStepConvergesToSteady(t *testing.T) {
+	m := New(DefaultParams())
+	for i := 0; i < 100; i++ {
+		m.Step(150, 0.010) // 10ms steps, tau 20ms
+	}
+	want := m.SteadyC(150)
+	if math.Abs(m.TempC()-want) > 0.1 {
+		t.Errorf("temp after 1s = %v, want ~%v", m.TempC(), want)
+	}
+}
+
+func TestStepExactExponential(t *testing.T) {
+	m := New(DefaultParams())
+	// One step of exactly one time constant covers 1-1/e of the gap.
+	m.Step(100, m.Params().TimeConstS)
+	gap := m.SteadyC(100) - 40
+	want := 40 + gap*(1-1/math.E)
+	if math.Abs(m.TempC()-want) > 1e-9 {
+		t.Errorf("temp = %v, want %v", m.TempC(), want)
+	}
+}
+
+func TestStepSplitInvarianceProperty(t *testing.T) {
+	// Integrating in one step or many must land on the same temperature
+	// (the exponential update is exact).
+	f := func(p uint8, n uint8) bool {
+		watts := float64(p%200) + 20
+		steps := int(n%20) + 1
+		total := 0.05
+		one := New(DefaultParams())
+		one.Step(watts, total)
+		many := New(DefaultParams())
+		for i := 0; i < steps; i++ {
+			many.Step(watts, total/float64(steps))
+		}
+		return math.Abs(one.TempC()-many.TempC()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroAndNegativeDt(t *testing.T) {
+	m := New(DefaultParams())
+	before := m.TempC()
+	m.Step(500, 0)
+	m.Step(500, -1)
+	if m.TempC() != before {
+		t.Error("non-positive dt changed temperature")
+	}
+}
+
+func TestStackedModeDepositsMemoryPower(t *testing.T) {
+	discrete := New(DefaultParams())
+	stacked := New(StackedParams())
+	rails := power.Rails{GPU: 100, Mem: 50, Other: 20}
+	if got := discrete.DiePower(rails); got != 100 {
+		t.Errorf("discrete die power = %v, want 100", got)
+	}
+	if got := stacked.DiePower(rails); got != 150 {
+		t.Errorf("stacked die power = %v, want 150", got)
+	}
+	// At equal rails, the stacked package must run hotter at steady
+	// state.
+	if stacked.SteadyC(stacked.DiePower(rails)) <= discrete.SteadyC(discrete.DiePower(rails)) {
+		t.Error("stacked package not hotter")
+	}
+}
+
+func TestResetAndString(t *testing.T) {
+	m := New(StackedParams())
+	m.Step(200, 1)
+	m.Reset()
+	if m.TempC() != m.Params().AmbientC {
+		t.Error("reset did not return to ambient")
+	}
+	if m.String() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestThrottleGuardsHotWorkload(t *testing.T) {
+	pm := power.Default()
+	die := New(StackedParams())
+	guard := NewThrottle(policy.NewBaseline(), die, pm, 85)
+	sess := &session.Session{Sim: gpusim.Default(), Power: pm, Policy: guard}
+	rep, err := sess.Run(workloads.MaxFlops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guard.PeakC <= 85 {
+		t.Skipf("workload never crossed the throttle point (peak %.1f°C)", guard.PeakC)
+	}
+	if guard.ThrottledKernels == 0 {
+		t.Error("die crossed the throttle point but nothing throttled")
+	}
+	// Some invocations must have run below boost.
+	sawCapped := false
+	for _, run := range rep.Runs {
+		if run.Config.Compute.Freq < hw.MaxCUFreq {
+			sawCapped = true
+		}
+	}
+	if !sawCapped {
+		t.Error("no capped invocations recorded")
+	}
+}
+
+func TestThrottleReleasesWhenCool(t *testing.T) {
+	pm := power.Default()
+	die := New(DefaultParams())
+	guard := NewThrottle(policy.NewBaseline(), die, pm, 200) // unreachable cap
+	sess := &session.Session{Sim: gpusim.Default(), Power: pm, Policy: guard}
+	if _, err := sess.Run(workloads.SRAD()); err != nil {
+		t.Fatal(err)
+	}
+	if guard.ThrottledKernels != 0 {
+		t.Errorf("throttled %d kernels below an unreachable cap", guard.ThrottledKernels)
+	}
+	if guard.Name() != "baseline+thermal" {
+		t.Errorf("Name = %q", guard.Name())
+	}
+}
+
+func TestCoordinatedPolicyRunsCoolerStacked(t *testing.T) {
+	// The paper's closing argument: under a shared (stacked) envelope,
+	// coordinated compute+memory management matters more. Harmonia's
+	// lower total power must produce a lower peak die temperature than
+	// the baseline on a memory-heavy workload.
+	pm := power.Default()
+	sim := gpusim.Default()
+
+	peak := func(p policy.Policy) float64 {
+		die := New(StackedParams())
+		guard := NewThrottle(p, die, pm, 1000) // observe only, never throttle
+		sess := &session.Session{Sim: sim, Power: pm, Policy: guard}
+		if _, err := sess.Run(workloads.SPMV()); err != nil {
+			t.Fatal(err)
+		}
+		return guard.PeakC
+	}
+	basePeak := peak(policy.NewBaseline())
+	// Fixed low-power config stands in for a converged coordinated
+	// policy (Harmonia's SPMV endpoint: ~12-16 CUs, reduced memory).
+	coordPeak := peak(policy.NewFixed(hw.Config{
+		Compute: hw.ComputeConfig{CUs: 16, Freq: 1000},
+		Memory:  hw.MemConfig{BusFreq: 1225},
+	}))
+	if coordPeak >= basePeak {
+		t.Errorf("coordinated peak %.1f°C not below baseline %.1f°C", coordPeak, basePeak)
+	}
+}
+
+var _ policy.Policy = (*Throttle)(nil)

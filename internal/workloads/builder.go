@@ -1,0 +1,173 @@
+package workloads
+
+import "fmt"
+
+// Builder constructs Kernel descriptors fluently, applying sensible
+// defaults and deferring validation to Build. It exists so downstream
+// users modelling their own workloads do not need to memorize every
+// descriptor field:
+//
+//	k, err := workloads.NewKernel("My.Gemm").
+//	    Grid(256, 4000).
+//	    Compute(600, 40).
+//	    Memory(8, 2, 4, 4).
+//	    Registers(64, 40).
+//	    Cache(0.6, 0, 0.8).
+//	    Build()
+type Builder struct {
+	k Kernel
+}
+
+// NewKernel starts a builder with representative defaults: 256-wide
+// workgroups, light scalar work, perfectly coalesced 4-byte accesses,
+// moderate registers, no divergence, mid cache behaviour.
+func NewKernel(name string) *Builder {
+	return &Builder{k: Kernel{
+		Name:           name,
+		WorkgroupSize:  256,
+		Workgroups:     4000,
+		VALUPerWI:      100,
+		SALUPerWI:      8,
+		FetchPerWI:     4,
+		WritePerWI:     1,
+		BytesPerFetch:  4,
+		BytesPerWrite:  4,
+		VGPRs:          32,
+		SGPRs:          24,
+		Divergence:     0,
+		L2Hit:          0.4,
+		L2Thrash:       0,
+		RowHit:         0.6,
+		MLPPerWave:     2,
+		SerialCycles:   15000,
+		LaunchOverhead: 10e-6,
+	}}
+}
+
+// Grid sets the workgroup size and count.
+func (b *Builder) Grid(workgroupSize, workgroups int) *Builder {
+	b.k.WorkgroupSize = workgroupSize
+	b.k.Workgroups = workgroups
+	return b
+}
+
+// Compute sets per-work-item vector and scalar instruction counts.
+func (b *Builder) Compute(valuPerWI, saluPerWI float64) *Builder {
+	b.k.VALUPerWI = valuPerWI
+	b.k.SALUPerWI = saluPerWI
+	return b
+}
+
+// Memory sets per-work-item fetch/write instruction counts and their
+// post-coalescing traffic in bytes.
+func (b *Builder) Memory(fetchPerWI, writePerWI, bytesPerFetch, bytesPerWrite float64) *Builder {
+	b.k.FetchPerWI = fetchPerWI
+	b.k.WritePerWI = writePerWI
+	b.k.BytesPerFetch = bytesPerFetch
+	b.k.BytesPerWrite = bytesPerWrite
+	return b
+}
+
+// Registers sets the VGPR (per work-item) and SGPR (per wavefront)
+// footprint — the occupancy limiters of Section 3.5.
+func (b *Builder) Registers(vgprs, sgprs int) *Builder {
+	b.k.VGPRs = vgprs
+	b.k.SGPRs = sgprs
+	return b
+}
+
+// LDS sets local-data-share bytes per workgroup.
+func (b *Builder) LDS(bytes int) *Builder {
+	b.k.LDSBytes = bytes
+	return b
+}
+
+// Divergence sets the inactive-lane fraction (0..1).
+func (b *Builder) Divergence(frac float64) *Builder {
+	b.k.Divergence = frac
+	return b
+}
+
+// Cache sets L2 hit rate at minimum CUs, the CU-count thrash factor, and
+// DRAM row-buffer locality.
+func (b *Builder) Cache(l2Hit, l2Thrash, rowHit float64) *Builder {
+	b.k.L2Hit = l2Hit
+	b.k.L2Thrash = l2Thrash
+	b.k.RowHit = rowHit
+	return b
+}
+
+// MLP sets the outstanding memory requests one wavefront sustains.
+func (b *Builder) MLP(perWave float64) *Builder {
+	b.k.MLPPerWave = perWave
+	return b
+}
+
+// Overheads sets per-invocation serial cycles and fixed launch time.
+func (b *Builder) Overheads(serialCycles, launchOverheadSec float64) *Builder {
+	b.k.SerialCycles = serialCycles
+	b.k.LaunchOverhead = launchOverheadSec
+	return b
+}
+
+// Phases installs a per-iteration modulation function.
+func (b *Builder) Phases(fn func(iter int) Phase) *Builder {
+	b.k.Phases = fn
+	return b
+}
+
+// Build validates and returns the kernel.
+func (b *Builder) Build() (*Kernel, error) {
+	k := b.k // copy: the builder can keep being used
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("workloads: build %s: %w", b.k.Name, err)
+	}
+	return &k, nil
+}
+
+// MustBuild is Build for statically known-good descriptors; it panics on
+// validation failure.
+func (b *Builder) MustBuild() *Kernel {
+	k, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Streaming returns a template for bandwidth-bound streaming kernels
+// (DeviceMemory-like): minimal compute per byte, perfect coalescing, no
+// reuse, deep MLP.
+func Streaming(name string) *Builder {
+	return NewKernel(name).
+		Compute(60, 6).
+		Memory(4, 1, 4, 4).
+		Registers(28, 20).
+		Cache(0.05, 0, 0.9).
+		MLP(4)
+}
+
+// ComputeHeavy returns a template for FLOP-bound kernels
+// (MaxFlops-like): long ALU chains, almost no memory traffic.
+func ComputeHeavy(name string) *Builder {
+	return NewKernel(name).
+		Compute(8000, 80).
+		Memory(4, 1, 4, 4).
+		Registers(32, 24).
+		Cache(0.85, 0, 0.8).
+		MLP(2)
+}
+
+// PointerChase returns a template for latency-bound irregular kernels
+// (BPT-like): memory-divergent gathers, poor row locality, heavy L2
+// contention that rewards CU power gating.
+func PointerChase(name string) *Builder {
+	return NewKernel(name).
+		Grid(128, 8000).
+		Compute(90, 20).
+		Memory(12, 0.5, 16, 8).
+		Registers(30, 30).
+		Divergence(0.3).
+		Cache(0.7, 0.6, 0.25).
+		MLP(2)
+}

@@ -1,0 +1,106 @@
+package workloads
+
+import (
+	"testing"
+)
+
+func TestBuilderDefaultsAreValid(t *testing.T) {
+	k, err := NewKernel("t.default").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.WorkgroupSize != 256 || k.MLPPerWave != 2 {
+		t.Errorf("defaults: %+v", k)
+	}
+}
+
+func TestBuilderSettersFlowThrough(t *testing.T) {
+	k, err := NewKernel("t.full").
+		Grid(128, 2000).
+		Compute(500, 30).
+		Memory(6, 2, 8, 4).
+		Registers(66, 48).
+		LDS(8192).
+		Divergence(0.2).
+		Cache(0.5, 0.3, 0.7).
+		MLP(3).
+		Overheads(40000, 20e-6).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.WorkgroupSize != 128 || k.Workgroups != 2000 ||
+		k.VALUPerWI != 500 || k.SALUPerWI != 30 ||
+		k.FetchPerWI != 6 || k.BytesPerFetch != 8 ||
+		k.VGPRs != 66 || k.SGPRs != 48 || k.LDSBytes != 8192 ||
+		k.Divergence != 0.2 || k.L2Hit != 0.5 || k.L2Thrash != 0.3 ||
+		k.RowHit != 0.7 || k.MLPPerWave != 3 ||
+		k.SerialCycles != 40000 || k.LaunchOverhead != 20e-6 {
+		t.Errorf("builder lost fields: %+v", k)
+	}
+	// VGPR 66 must reproduce the Sort.BottomScan occupancy limit.
+	if k.OccupancyWaves() != 3 {
+		t.Errorf("occupancy waves = %d, want 3", k.OccupancyWaves())
+	}
+}
+
+func TestBuilderValidationFailure(t *testing.T) {
+	if _, err := NewKernel("t.bad").Divergence(1.5).Build(); err == nil {
+		t.Error("invalid divergence accepted")
+	}
+	if _, err := NewKernel("").Build(); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestMustBuildPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic")
+		}
+	}()
+	NewKernel("t.bad").Grid(0, 0).MustBuild()
+}
+
+func TestBuilderCopySemantics(t *testing.T) {
+	b := NewKernel("t.copy")
+	k1 := b.MustBuild()
+	b.Compute(999, 0)
+	k2 := b.MustBuild()
+	if k1.VALUPerWI == k2.VALUPerWI {
+		t.Error("builder mutation leaked into previously built kernel")
+	}
+}
+
+func TestPhasesInstalled(t *testing.T) {
+	k := NewKernel("t.phase").Phases(func(iter int) Phase {
+		return Phase{WorkScale: float64(iter + 1), Divergence: -1, FetchScale: 1}
+	}).MustBuild()
+	if k.PhaseFor(3).WorkScale != 4 {
+		t.Error("phase function not installed")
+	}
+}
+
+func TestTemplatesMatchTheirArchetypes(t *testing.T) {
+	stream := Streaming("t.stream").MustBuild()
+	compute := ComputeHeavy("t.compute").MustBuild()
+	chase := PointerChase("t.chase").MustBuild()
+
+	if stream.DemandOpsPerByte() >= compute.DemandOpsPerByte() {
+		t.Error("streaming template demands more ops/byte than compute template")
+	}
+	if compute.DemandOpsPerByte() < 100 {
+		t.Errorf("compute template ops/byte = %v, want large", compute.DemandOpsPerByte())
+	}
+	if chase.L2Thrash < 0.4 {
+		t.Errorf("pointer-chase template thrash = %v, want strong", chase.L2Thrash)
+	}
+	if chase.Divergence <= 0 {
+		t.Error("pointer-chase template should diverge")
+	}
+	for _, k := range []*Kernel{stream, compute, chase} {
+		if err := k.Validate(); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+}

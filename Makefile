@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build vet test race fuzz
+
+# The full pre-commit gate: build, vet, and the test suite under the
+# race detector.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzzing pass over every fuzz target in internal/core.
+fuzz:
+	$(GO) test ./internal/core/ -fuzz FuzzControllerUnderFaults -fuzztime 15s
+	$(GO) test ./internal/core/ -fuzz FuzzInjectorDeterminism -fuzztime 15s
+	$(GO) test ./internal/core/ -fuzz FuzzControllerRobustness -fuzztime 15s

@@ -6,12 +6,15 @@
 // Usage:
 //
 //	harmonia-sweep -kernel LUD.Internal [-curves]
+//	harmonia-sweep -faults [-fault-seed 42] [-fault-intensities 0,0.25,0.5,1]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"harmonia"
 	"harmonia/internal/experiments"
@@ -22,11 +25,35 @@ import (
 
 func main() {
 	var (
-		kernelName = flag.String("kernel", "LUD.Internal", "kernel to sweep (App.Kernel)")
-		curves     = flag.Bool("curves", false, "print every balance-curve point")
-		list       = flag.Bool("list", false, "list available kernels and exit")
+		kernelName  = flag.String("kernel", "LUD.Internal", "kernel to sweep (App.Kernel)")
+		curves      = flag.Bool("curves", false, "print every balance-curve point")
+		list        = flag.Bool("list", false, "list available kernels and exit")
+		faultsSweep = flag.Bool("faults", false, "run the fault-injection robustness study instead of a kernel sweep")
+		faultSeed   = flag.Int64("fault-seed", 42, "fault-injection seed for -faults")
+		intensities = flag.String("fault-intensities", "", "comma-separated fault intensities for -faults (default 0,0.25,0.5,1)")
 	)
 	flag.Parse()
+
+	if *faultsSweep {
+		var grid []float64
+		if *intensities != "" {
+			for _, f := range strings.Split(*intensities, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				if err != nil || v < 0 {
+					fmt.Fprintf(os.Stderr, "harmonia-sweep: bad intensity %q\n", f)
+					os.Exit(1)
+				}
+				grid = append(grid, v)
+			}
+		}
+		res, err := experiments.Robustness(experiments.NewEnv(), *faultSeed, grid)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "harmonia-sweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res)
+		return
+	}
 
 	if *list {
 		for _, k := range harmonia.AllKernels() {

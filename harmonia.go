@@ -36,6 +36,7 @@ import (
 	"harmonia/internal/counters"
 	"harmonia/internal/experiments"
 	"harmonia/internal/export"
+	"harmonia/internal/faults"
 	"harmonia/internal/gpusim"
 	"harmonia/internal/hw"
 	"harmonia/internal/metrics"
@@ -83,6 +84,13 @@ type (
 	Controller = core.Controller
 	// ControllerOptions configures a Controller.
 	ControllerOptions = core.Options
+	// RobustOptions configures the controller's hardening layer
+	// (outlier rejection, configuration verification, watchdog).
+	RobustOptions = core.RobustOptions
+
+	// FaultConfig parameterizes the platform fault-injection layer
+	// (System.WithFaults). The zero value injects nothing.
+	FaultConfig = faults.Config
 
 	// Predictor holds the trained sensitivity models.
 	Predictor = sensitivity.Predictor
@@ -129,7 +137,8 @@ type System struct {
 	Sim   *gpusim.Model
 	Power *powermodel.Model
 
-	pred *sensitivity.Predictor
+	pred   *sensitivity.Predictor
+	faults *faults.Config
 }
 
 // NewSystem returns a System with the default calibrated platform.
@@ -142,8 +151,7 @@ func NewSystem() *System {
 // 448-point configuration space; it takes a moment).
 func (s *System) Predictor() *Predictor {
 	if s.pred == nil {
-		p, err := sensitivity.Train(
-			sensitivity.BuildConfigTrainingSet(s.Sim, workloads.AllKernels()))
+		p, err := s.TrainPredictor(workloads.AllKernels())
 		if err != nil {
 			panic(err) // the default training set is fixed and known good
 		}
@@ -207,10 +215,50 @@ func (s *System) Oracle(apps ...*Application) Policy {
 	return oracle.New(s.Sim, s.Power, apps...)
 }
 
+// WithFaults arms the platform fault-injection layer: every subsequent
+// Run wraps the simulated hardware in a fresh, seed-deterministic
+// injector built from fc, so the policy and the DAQ observe degraded
+// inputs (noisy/stale counters, stuck DPM transitions, thermal
+// throttles, trace dropout) while the report keeps recording the true
+// physics. Each Run replays the same fault sequence for the same
+// workload and policy, which makes A/B policy comparisons under
+// identical faults meaningful. It returns s for chaining; use
+// WithoutFaults to disarm.
+func (s *System) WithFaults(fc FaultConfig) *System {
+	s.faults = &fc
+	return s
+}
+
+// WithoutFaults disarms the fault-injection layer.
+func (s *System) WithoutFaults() *System {
+	s.faults = nil
+	return s
+}
+
+// FaultProfile returns the canonical fault profile of the robustness
+// study at the given intensity in [0, 1]; intensity 0 disables
+// everything.
+func FaultProfile(seed int64, intensity float64) FaultConfig {
+	return faults.Profile(seed, intensity)
+}
+
 // Run executes the application under the policy and returns the report.
 func (s *System) Run(app *Application, p Policy) (*Report, error) {
 	sess := &session.Session{Sim: s.Sim, Power: s.Power, Policy: p}
+	if s.faults != nil && s.faults.Enabled() {
+		sess.Faults = faults.New(*s.faults)
+	}
 	return sess.Run(app)
+}
+
+// HarmoniaNaive returns a Harmonia controller with the hardening layer
+// disabled: the un-armored Algorithm 1 loop, kept as the comparison
+// point of the robustness study.
+func (s *System) HarmoniaNaive() *Controller {
+	return core.New(core.Options{
+		Predictor: s.Predictor(),
+		Robust:    core.RobustOptions{Disabled: true},
+	})
 }
 
 // TrainPredictor trains sensitivity models on the given kernels using

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"harmonia/internal/counters"
+	"harmonia/internal/faults"
 	"harmonia/internal/gpusim"
 	"harmonia/internal/hw"
 )
@@ -43,3 +44,101 @@ func FuzzControllerRobustness(f *testing.F) {
 		}
 	})
 }
+
+// FuzzControllerUnderFaults drives both the hardened and the naive
+// controller through a fault sequence decoded from the fuzz input: each
+// input byte selects, per kernel invocation, whether the observation is
+// clean, noisy, stale, mismatched (the command did not latch), or
+// throttled. Under every such sequence both controllers must emit only
+// legal grid configurations, never panic, and the loop must terminate.
+func FuzzControllerUnderFaults(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 0, 0, 3, 3, 3, 1, 2})
+	f.Add([]byte{3, 3, 3, 3, 3, 3, 3, 3})
+	f.Add([]byte{1, 1, 1, 1, 4, 4, 4, 4, 0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, seq []byte) {
+		if len(seq) > 256 {
+			seq = seq[:256]
+		}
+		sim := gpusim.Default()
+		k := kernelByName(t, "Sort.BottomScan")
+		for _, c := range []*Controller{
+			New(Options{Predictor: predictor()}),
+			New(Options{Predictor: predictor(), Robust: RobustOptions{Disabled: true}}),
+		} {
+			var stale *gpusim.Result
+			for i, b := range seq {
+				cfg := c.Decide(k.Name, i)
+				if !cfg.Valid() {
+					t.Fatalf("iteration %d: invalid commanded config %v", i, cfg)
+				}
+				actual := cfg
+				switch b % 5 {
+				case 3: // transition fails: stick one CU level away
+					actual = hw.TunableCUs.WithLevel(cfg, hw.TunableCUs.LevelFor(cfg)-1)
+					if actual == cfg {
+						actual = hw.TunableCUs.WithLevel(cfg, hw.TunableCUs.LevelFor(cfg)+1)
+					}
+				case 4: // thermal throttle: compute clock forced down
+					actual = hw.TunableCUFreq.WithLevel(cfg, 0)
+				}
+				res := sim.Run(k, i, actual)
+				switch b % 5 {
+				case 1: // noise burst
+					res.Counters.VALUBusy = float64(b) / 255 * 100
+					res.Counters.MemUnitBusy = float64(255-b) / 255 * 100
+				case 2: // stale sample replayed
+					if stale != nil {
+						res = *stale
+					}
+				}
+				stale = &res
+				c.Observe(k.Name, i, res)
+			}
+			if got := c.Decide(k.Name, len(seq)); !got.Valid() {
+				t.Fatalf("final decision invalid: %v", got)
+			}
+		}
+	})
+}
+
+// FuzzInjectorDeterminism checks that a fault injector built from any
+// profile replays identically from its seed and never produces an
+// off-grid configuration.
+func FuzzInjectorDeterminism(f *testing.F) {
+	f.Add(int64(1), float64(0.5), uint8(20))
+	f.Add(int64(-7), float64(2), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, intensity float64, steps uint8) {
+		if intensity < 0 || intensity > 10 {
+			return
+		}
+		cfg := faults.Profile(seed, intensity)
+		k := kernelByName(t, "MaxFlops.Main")
+		sim := gpusim.Default()
+		run := func() []hw.Config {
+			inj := faults.New(cfg)
+			var got []hw.Config
+			cur := hw.MaxConfig()
+			for i := 0; i < int(steps); i++ {
+				actual := inj.ApplyConfig(cur)
+				if !actual.Valid() {
+					t.Fatalf("injector produced off-grid config %v", actual)
+				}
+				res := inj.Observation(k.Name, sim.Run(k, i, actual))
+				if res.Counters.VALUBusy < 0 || res.Counters.VALUBusy > 100 {
+					t.Fatalf("noised VALUBusy out of range: %v", res.Counters.VALUBusy)
+				}
+				got = append(got, actual)
+				cur = hw.TunableCUs.WithLevel(cur, i%hw.TunableCUs.Levels())
+			}
+			return got
+		}
+		a, b := run(), run()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("step %d: fault sequence not reproducible: %v vs %v", i, a[i], b[i])
+			}
+		}
+	})
+}
+

@@ -29,6 +29,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"harmonia/internal/counters"
 	"harmonia/internal/gpusim"
@@ -63,6 +65,90 @@ type Options struct {
 	// Initial is the configuration used before the first observation of
 	// each kernel; zero value means the baseline maximum configuration.
 	Initial hw.Config
+	// Robust configures the hardening layer that protects the loop from
+	// degraded telemetry (see RobustOptions). The zero value enables
+	// hardening with defaults; set Robust.Disabled for the naive
+	// controller. On a clean platform the hardening layer never fires,
+	// so the hardened and naive controllers are bit-for-bit identical.
+	Robust RobustOptions
+}
+
+// RobustOptions configures the controller's hardening layer: outlier
+// rejection on monitoring samples before they reach the EMA,
+// verification that a commanded configuration actually took effect
+// (with bounded retry), and a graceful-degradation watchdog that
+// freezes fine-grain tuning and falls back to the last known-good
+// configuration while telemetry is unreliable, recovering automatically
+// when readings stabilize. All of these react only to evidence of
+// faults — samples that contradict per-kernel history or a DPM readback
+// that contradicts the command — so on clean telemetry the hardened
+// controller takes exactly the decisions the naive one does.
+type RobustOptions struct {
+	// Disabled turns the hardening layer off entirely (the naive
+	// controller of the robustness study).
+	Disabled bool
+	// OutlierK is the MAD multiplier of the outlier test: a sample
+	// whose VALUBusy or MemUnitBusy deviates more than
+	// max(OutlierK·MAD, OutlierFloor) from the per-kernel history at
+	// the same configuration is rejected. Zero means the default of 6.
+	OutlierK float64
+	// OutlierFloor is the absolute deviation (percentage points) below
+	// which a sample is never an outlier, guarding against a zero MAD
+	// on deterministic histories. Zero means the default of 8.
+	OutlierFloor float64
+	// HistoryWindow is how many accepted samples per (kernel,
+	// configuration) the outlier test remembers. Zero means 12.
+	HistoryWindow int
+	// MinHistory is how many samples the window needs before the
+	// outlier test may reject. Zero means 5.
+	MinHistory int
+	// VerifyRetries is how many times a commanded configuration that
+	// did not take effect (per the sample's DPM-state readback) is
+	// re-issued before the controller gives up and adopts the actual
+	// hardware state. Zero means 2.
+	VerifyRetries int
+	// WatchdogM is how many consecutive unreliable samples (outliers or
+	// failed transitions) trip the degradation watchdog. Zero means 3.
+	WatchdogM int
+	// RecoverN is how many consecutive clean samples end degraded mode.
+	// Zero means 2.
+	RecoverN int
+}
+
+// Hardening defaults.
+const (
+	defaultOutlierK      = 6
+	defaultOutlierFloor  = 8
+	defaultHistoryWindow = 12
+	defaultMinHistory    = 5
+	defaultVerifyRetries = 2
+	defaultWatchdogM     = 3
+	defaultRecoverN      = 2
+)
+
+func (r RobustOptions) withDefaults() RobustOptions {
+	if r.OutlierK <= 0 {
+		r.OutlierK = defaultOutlierK
+	}
+	if r.OutlierFloor <= 0 {
+		r.OutlierFloor = defaultOutlierFloor
+	}
+	if r.HistoryWindow <= 0 {
+		r.HistoryWindow = defaultHistoryWindow
+	}
+	if r.MinHistory <= 0 {
+		r.MinHistory = defaultMinHistory
+	}
+	if r.VerifyRetries <= 0 {
+		r.VerifyRetries = defaultVerifyRetries
+	}
+	if r.WatchdogM <= 0 {
+		r.WatchdogM = defaultWatchdogM
+	}
+	if r.RecoverN <= 0 {
+		r.RecoverN = defaultRecoverN
+	}
+	return r
 }
 
 // cgTarget maps a sensitivity bin to the grid level a tunable is set to
@@ -114,6 +200,19 @@ const (
 	// ActionFreeze: a tunable was pinned after exceeding the dithering
 	// budget.
 	ActionFreeze
+	// ActionReject: a monitoring sample failed the outlier test and was
+	// discarded before reaching the EMA; the configuration held.
+	ActionReject
+	// ActionRetry: the sample's DPM readback shows the commanded
+	// configuration did not take effect; the command was re-issued.
+	ActionRetry
+	// ActionDegrade: the watchdog tripped after too many consecutive
+	// unreliable samples; FG froze and the kernel fell back to its last
+	// known-good configuration.
+	ActionDegrade
+	// ActionRecover: telemetry stabilized and the controller left
+	// degraded mode.
+	ActionRecover
 )
 
 func (a ActionKind) String() string {
@@ -128,6 +227,14 @@ func (a ActionKind) String() string {
 		return "revert"
 	case ActionFreeze:
 		return "freeze"
+	case ActionReject:
+		return "reject"
+	case ActionRetry:
+		return "retry"
+	case ActionDegrade:
+		return "degrade"
+	case ActionRecover:
+		return "recover"
 	default:
 		return "unknown"
 	}
@@ -154,6 +261,9 @@ type Controller struct {
 
 	// Counters for introspection and the CG-vs-FG experiments.
 	cgActions, fgActions, reverts int
+
+	// Hardening-layer counters.
+	rejected, retried, degradeEvents int
 
 	// log is the bounded decision log (most recent last).
 	log []Action
@@ -203,6 +313,30 @@ type kernelState struct {
 	lastGood hw.Config
 
 	lastKind ActionKind // classification of the most recent decision
+
+	// Hardening-layer state. obsHist keeps a bounded window of accepted
+	// VALUBusy/MemUnitBusy samples per configuration, the per-kernel
+	// history the outlier test measures deviation against.
+	obsHist    map[hw.Config]*obsWindow
+	cmdRetries int  // consecutive re-issues of the current command
+	unreliable int  // consecutive unreliable samples (watchdog input)
+	cleanRun   int  // consecutive clean samples while degraded
+	degraded   bool // watchdog tripped; FG frozen, holding lastGood
+}
+
+// obsWindow is a bounded ring of accepted counter samples at one
+// configuration.
+type obsWindow struct {
+	vb, mb []float64
+}
+
+func (w *obsWindow) push(vb, mb float64, cap int) {
+	if len(w.vb) >= cap {
+		w.vb = append(w.vb[:0], w.vb[1:]...)
+		w.mb = append(w.mb[:0], w.mb[1:]...)
+	}
+	w.vb = append(w.vb, vb)
+	w.mb = append(w.mb, mb)
 }
 
 // New returns a Harmonia controller.
@@ -226,6 +360,9 @@ func New(opts Options) *Controller {
 	}
 	if !opts.Initial.Valid() {
 		opts.Initial = hw.MaxConfig()
+	}
+	if !opts.Robust.Disabled {
+		opts.Robust = opts.Robust.withDefaults()
 	}
 	return &Controller{
 		opts:     opts,
@@ -260,6 +397,20 @@ func (c *Controller) Stats() (cg, fg, reverts int) {
 	return c.cgActions, c.fgActions, c.reverts
 }
 
+// RobustStats reports the hardening layer's activity: outlier-rejected
+// samples, re-issued commands, and watchdog degradation events. All
+// three are zero on a clean platform.
+func (c *Controller) RobustStats() (rejected, retried, degraded int) {
+	return c.rejected, c.retried, c.degradeEvents
+}
+
+// Degraded reports whether the named kernel is currently running in
+// degraded mode (FG frozen, holding the last known-good configuration).
+func (c *Controller) Degraded(kernel string) bool {
+	st, ok := c.kernels[kernel]
+	return ok && st.degraded
+}
+
 func (c *Controller) state(kernel string) *kernelState {
 	st, ok := c.kernels[kernel]
 	if !ok {
@@ -269,6 +420,7 @@ func (c *Controller) state(kernel string) *kernelState {
 			lastGood: c.opts.Initial,
 			dither:   make(map[hw.Tunable]int),
 			frozen:   make(map[hw.Tunable]bool),
+			obsHist:  make(map[hw.Config]*obsWindow),
 		}
 		c.kernels[kernel] = st
 	}
@@ -280,9 +432,13 @@ func (c *Controller) Decide(kernel string, _ int) hw.Config {
 	return c.state(kernel).next
 }
 
-// Observe implements policy.Policy: it runs one step of Algorithm 1.
+// Observe implements policy.Policy: it runs one step of Algorithm 1,
+// fronted (unless Robust.Disabled) by the hardening layer of guard.
 func (c *Controller) Observe(kernel string, _ int, res gpusim.Result) {
 	st := c.state(kernel)
+	if !c.opts.Robust.Disabled && c.guard(kernel, st, res) {
+		return
+	}
 	cur := res.Config
 
 	// Monitoring block: fold the new sample into the kernel's history
@@ -363,6 +519,164 @@ func (c *Controller) Observe(kernel string, _ int, res gpusim.Result) {
 		return
 	}
 	c.fineGrain(st, cur, proxy)
+}
+
+// guard is the hardening layer run before Algorithm 1 sees a sample. It
+// returns true when it consumed the sample: the observation was an
+// outlier, the commanded configuration did not take effect, or the
+// kernel is in (or just left) degraded mode. Clean samples on a clean
+// platform fall straight through — guard then only records history — so
+// the hardened controller's decisions are bit-for-bit those of the
+// naive one until a fault is actually observed.
+func (c *Controller) guard(kernel string, st *kernelState, res gpusim.Result) bool {
+	commanded := st.next
+	mismatch := res.Config != commanded
+	outlier := !mismatch && c.isOutlier(st, res)
+	unreliable := mismatch || outlier
+
+	record := func(kind ActionKind, to hw.Config) {
+		c.record(Action{
+			Kernel: kernel, Kind: kind, From: res.Config, To: to,
+			Bins: st.bins, Proxy: gpusim.MachineUtilization(res.Counters, res.Config),
+		})
+		st.lastKind = kind
+	}
+
+	if st.degraded {
+		// Degraded mode: hold the last known-good configuration, take no
+		// decisions, and watch for telemetry to stabilize.
+		if mismatch {
+			// The platform will not run what we hold (stuck DPM,
+			// persistent throttle). Holding a configuration that never
+			// latches would block recovery forever — adopt the actual
+			// hardware state as the hold point instead; once readbacks
+			// match it, samples count as clean again.
+			st.lastGood = res.Config
+			st.cleanRun = 0
+		} else if unreliable {
+			st.cleanRun = 0
+		} else {
+			st.cleanRun++
+			c.pushObs(st, res)
+		}
+		st.next = st.lastGood
+		if st.cleanRun >= c.opts.Robust.RecoverN {
+			st.degraded = false
+			st.unreliable, st.cleanRun, st.cmdRetries = 0, 0, 0
+			// Resume with a clean slate: no pending move to blame and no
+			// stale proxy baseline from before the fault burst.
+			st.lastMoved, st.lastCG = nil, false
+			st.haveProxy = false
+			record(ActionRecover, st.next)
+			return true
+		}
+		record(ActionDegrade, st.next)
+		return true
+	}
+
+	if !unreliable {
+		st.unreliable = 0
+		st.cmdRetries = 0
+		c.pushObs(st, res)
+		return false
+	}
+
+	st.unreliable++
+	if mismatch {
+		if st.cmdRetries < c.opts.Robust.VerifyRetries {
+			// The DPM readback contradicts the command: re-issue it
+			// rather than interpret a gradient measured at the wrong
+			// operating point.
+			st.cmdRetries++
+			c.retried++
+			st.next = commanded
+			record(ActionRetry, st.next)
+			return true
+		}
+		// Retries exhausted: the transition genuinely is not taking
+		// (stuck DPM, persistent throttle). Adopt the hardware's actual
+		// state, clearing move blame — our intended change never ran.
+		// Adoption resolves the discrepancy, so it ends the unreliable
+		// streak rather than feeding the watchdog: future readbacks at
+		// the adopted configuration will match what we command.
+		st.cmdRetries = 0
+		st.unreliable = 0
+		st.lastMoved, st.lastCG = nil, false
+		st.next = res.Config
+		record(ActionHold, st.next)
+		return true
+	}
+
+	if st.unreliable >= c.opts.Robust.WatchdogM {
+		// Telemetry has been unreliable for M consecutive samples: freeze
+		// FG and fall back to the last configuration that demonstrably
+		// performed (Section 5.2's safety intent, extended to faults).
+		st.degraded = true
+		st.cleanRun = 0
+		st.lastMoved, st.lastCG = nil, false
+		st.next = st.lastGood
+		c.degradeEvents++
+		record(ActionDegrade, st.next)
+		return true
+	}
+
+	// Outlier: discard the sample before it reaches the EMA or the
+	// gradient, and hold.
+	c.rejected++
+	st.next = commanded
+	record(ActionReject, st.next)
+	return true
+}
+
+// pushObs folds an accepted sample into the per-configuration history
+// the outlier test uses.
+func (c *Controller) pushObs(st *kernelState, res gpusim.Result) {
+	w := st.obsHist[res.Config]
+	if w == nil {
+		w = &obsWindow{}
+		st.obsHist[res.Config] = w
+	}
+	w.push(res.Counters.VALUBusy, res.Counters.MemUnitBusy, c.opts.Robust.HistoryWindow)
+}
+
+// isOutlier applies the robust deviation test: a sample is an outlier
+// when VALUBusy or MemUnitBusy deviates from the median of the
+// per-kernel history at the same configuration by more than
+// max(OutlierK·MAD, OutlierFloor). Histories shorter than MinHistory
+// never reject, and the absolute floor keeps deterministic (zero-MAD)
+// histories from rejecting legitimate small shifts.
+func (c *Controller) isOutlier(st *kernelState, res gpusim.Result) bool {
+	w := st.obsHist[res.Config]
+	if w == nil || len(w.vb) < c.opts.Robust.MinHistory {
+		return false
+	}
+	r := c.opts.Robust
+	exceeds := func(hist []float64, v float64) bool {
+		med := median(hist)
+		thr := math.Max(r.OutlierK*mad(hist, med), r.OutlierFloor)
+		return math.Abs(v-med) > thr
+	}
+	return exceeds(w.vb, res.Counters.VALUBusy) || exceeds(w.mb, res.Counters.MemUnitBusy)
+}
+
+// median returns the median of xs (not modifying it).
+func median(xs []float64) float64 {
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// mad returns the median absolute deviation of xs about med.
+func mad(xs []float64, med float64) float64 {
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return median(dev)
 }
 
 // binsFor predicts sensitivity bins from a (smoothed) counter sample,

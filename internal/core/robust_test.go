@@ -1,0 +1,239 @@
+package core
+
+import (
+	"testing"
+
+	"harmonia/internal/faults"
+	"harmonia/internal/gpusim"
+	"harmonia/internal/hw"
+	"harmonia/internal/session"
+	"harmonia/internal/workloads"
+)
+
+func naiveOptions() Options {
+	return Options{Predictor: predictor(), Robust: RobustOptions{Disabled: true}}
+}
+
+// TestCleanPathEquivalence is the acceptance gate for the hardening
+// layer: with no faults injected, the hardened controller must
+// reproduce the naive (seed) controller's results bit-for-bit on the
+// whole 14-application suite — every decision and therefore every ED²
+// identical. The hardening layer only reacts to evidence of faults, so
+// a clean platform must never trigger it.
+func TestCleanPathEquivalence(t *testing.T) {
+	for _, app := range workloads.Suite() {
+		hardened := New(Options{Predictor: predictor()})
+		naive := New(naiveOptions())
+
+		repH, err := session.New(hardened).Run(app)
+		if err != nil {
+			t.Fatalf("%s hardened: %v", app.Name, err)
+		}
+		repN, err := session.New(naive).Run(app)
+		if err != nil {
+			t.Fatalf("%s naive: %v", app.Name, err)
+		}
+
+		if repH.ED2() != repN.ED2() {
+			t.Errorf("%s: hardened ED2 %v != naive ED2 %v", app.Name, repH.ED2(), repN.ED2())
+		}
+		if len(repH.Runs) != len(repN.Runs) {
+			t.Fatalf("%s: run counts differ", app.Name)
+		}
+		for i := range repH.Runs {
+			if repH.Runs[i].Config != repN.Runs[i].Config {
+				t.Fatalf("%s run %d: hardened %v != naive %v",
+					app.Name, i, repH.Runs[i].Config, repN.Runs[i].Config)
+			}
+		}
+		rej, ret, deg := hardened.RobustStats()
+		if rej != 0 || ret != 0 || deg != 0 {
+			t.Errorf("%s: hardening fired on clean platform: %d rejected, %d retried, %d degraded",
+				app.Name, rej, ret, deg)
+		}
+	}
+}
+
+// converge drives a hardened controller on the clean simulator until it
+// settles, returning the settled config and the iteration reached.
+func converge(t *testing.T, c *Controller, k *workloads.Kernel, n int) (hw.Config, int) {
+	t.Helper()
+	sim := gpusim.Default()
+	for i := 0; i < n; i++ {
+		cfg := c.Decide(k.Name, i)
+		c.Observe(k.Name, i, sim.Run(k, i, cfg))
+	}
+	return c.Decide(k.Name, n), n
+}
+
+// TestFaultHandlingPaths exercises the hardened controller's reactions
+// to each telemetry fault class, table-driven.
+func TestFaultHandlingPaths(t *testing.T) {
+	sim := gpusim.Default()
+	tests := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"noisy sample rejected, no spurious CG jump", func(t *testing.T) {
+			c := New(Options{Predictor: predictor()})
+			k := kernelByName(t, "MaxFlops.Main")
+			settled, iter := converge(t, c, k, 30)
+
+			// One wildly noisy observation: VALUBusy collapses as if the
+			// kernel became memory bound. The naive controller CG-jumps on
+			// this; the hardened one must reject it and hold.
+			res := sim.Run(k, iter, settled)
+			res.Counters.VALUBusy /= 4
+			res.Counters.MemUnitBusy = 95
+			c.Observe(k.Name, iter, res)
+
+			if got := c.Decide(k.Name, iter+1); got != settled {
+				t.Errorf("noisy sample moved config %v -> %v", settled, got)
+			}
+			rej, _, _ := c.RobustStats()
+			if rej != 1 {
+				t.Errorf("rejected = %d, want 1", rej)
+			}
+			if lg := c.Log(); lg[len(lg)-1].Kind != ActionReject {
+				t.Errorf("last action = %v, want reject", lg[len(lg)-1].Kind)
+			}
+		}},
+		{"stuck tunable retried then adopted", func(t *testing.T) {
+			c := New(Options{Predictor: predictor()})
+			k := kernelByName(t, "MaxFlops.Main")
+			_, iter := converge(t, c, k, 6)
+
+			// The hardware sticks at one fewer CU level than commanded:
+			// every readback reports `stuck`, not the command. The
+			// controller must re-issue the command VerifyRetries times,
+			// then give up and adopt reality.
+			commanded := c.Decide(k.Name, iter)
+			stuck := hw.TunableCUs.WithLevel(commanded, hw.TunableCUs.LevelFor(commanded)-1)
+			if stuck == commanded {
+				stuck = hw.TunableCUs.WithLevel(commanded, hw.TunableCUs.LevelFor(commanded)+1)
+			}
+			for i := 0; i < defaultVerifyRetries; i++ {
+				c.Observe(k.Name, iter, sim.Run(k, iter, stuck))
+				if got := c.Decide(k.Name, iter+1); got != commanded {
+					t.Fatalf("retry %d: command changed %v -> %v", i, commanded, got)
+				}
+			}
+			// Retries exhausted: the next mismatch adopts the stuck state.
+			c.Observe(k.Name, iter, sim.Run(k, iter, stuck))
+			if got := c.Decide(k.Name, iter+1); got != stuck {
+				t.Fatalf("after retries, want adopted %v, got %v", stuck, got)
+			}
+			_, ret, _ := c.RobustStats()
+			if ret != defaultVerifyRetries {
+				t.Errorf("retried = %d, want %d", ret, defaultVerifyRetries)
+			}
+		}},
+		{"watchdog degrades after M unreliable samples and recovers", func(t *testing.T) {
+			c := New(Options{Predictor: predictor()})
+			k := kernelByName(t, "CoMD.AdvanceVelocity")
+			settled, iter := converge(t, c, k, 30)
+
+			// M consecutive garbage samples (outliers at the settled
+			// config) must trip the watchdog.
+			for i := 0; i < defaultWatchdogM; i++ {
+				res := sim.Run(k, iter+i, settled)
+				res.Counters.VALUBusy = 0
+				res.Counters.MemUnitBusy = 100
+				c.Observe(k.Name, iter+i, res)
+			}
+			if !c.Degraded(k.Name) {
+				t.Fatal("watchdog did not trip after M unreliable samples")
+			}
+			_, _, deg := c.RobustStats()
+			if deg != 1 {
+				t.Errorf("degrade events = %d, want 1", deg)
+			}
+			held := c.Decide(k.Name, iter+defaultWatchdogM)
+			if !held.Valid() {
+				t.Fatalf("degraded hold config invalid: %v", held)
+			}
+
+			// Telemetry stabilizes: RecoverN clean samples end degraded
+			// mode automatically.
+			for i := 0; i < defaultRecoverN; i++ {
+				c.Observe(k.Name, iter+defaultWatchdogM+i,
+					sim.Run(k, 0, held))
+			}
+			if c.Degraded(k.Name) {
+				t.Fatal("controller did not recover after clean samples")
+			}
+			lg := c.Log()
+			if lg[len(lg)-1].Kind != ActionRecover {
+				t.Errorf("last action = %v, want recover", lg[len(lg)-1].Kind)
+			}
+		}},
+		{"repeated noise bursts do not dither config", func(t *testing.T) {
+			// Alternating clean/noisy samples: the hardened controller
+			// must not bounce between configurations (spurious
+			// revert/dither), only reject the bad samples.
+			c := New(Options{Predictor: predictor()})
+			k := kernelByName(t, "Sort.BottomScan")
+			settled, iter := converge(t, c, k, 50)
+			cgBefore, _, _ := c.Stats()
+			for i := 0; i < 12; i++ {
+				res := sim.Run(k, iter+i, settled)
+				if i%2 == 0 {
+					res.Counters.VALUBusy *= 0.3
+				}
+				c.Observe(k.Name, iter+i, res)
+				got := c.Decide(k.Name, iter+i+1)
+				if dist(got, settled) > 1 {
+					t.Fatalf("iteration %d: config ran away: %v -> %v", i, settled, got)
+				}
+			}
+			cgAfter, _, _ := c.Stats()
+			if cgAfter != cgBefore {
+				t.Errorf("noise bursts caused %d spurious CG jumps", cgAfter-cgBefore)
+			}
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, tc.run)
+	}
+}
+
+// dist is the L1 grid distance between two configurations.
+func dist(a, b hw.Config) int {
+	d := 0
+	for _, tu := range hw.Tunables() {
+		la, lb := tu.LevelFor(a), tu.LevelFor(b)
+		if la > lb {
+			d += la - lb
+		} else {
+			d += lb - la
+		}
+	}
+	return d
+}
+
+// TestHardenedSurvivesInjectedFaultSession drives the hardened and the
+// naive controller through identical fault-injected sessions and checks
+// the hardened one never emits an illegal configuration and engages its
+// machinery.
+func TestHardenedSurvivesInjectedFaultSession(t *testing.T) {
+	app := workloads.ByName("Graph500")
+	if app == nil {
+		t.Fatal("Graph500 missing from suite")
+	}
+	hardened := New(Options{Predictor: predictor()})
+	sess := session.New(hardened)
+	sess.Faults = faults.New(faults.Profile(99, 1))
+	rep, err := sess.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range rep.Runs {
+		if !run.Config.Valid() || !run.Commanded.Valid() {
+			t.Fatalf("illegal config in faulted run: %+v", run)
+		}
+	}
+	rej, ret, _ := hardened.RobustStats()
+	if rej+ret == 0 {
+		t.Error("full-intensity faults never engaged the hardening layer")
+	}
+}

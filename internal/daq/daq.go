@@ -13,6 +13,7 @@ package daq
 
 import (
 	"fmt"
+	"math"
 
 	"harmonia/internal/power"
 )
@@ -47,25 +48,40 @@ type Recorder struct {
 	nextSample float64
 	samples    []Sample
 	exact      Energy
+	dropped    int
+
+	// Drop, when non-nil, is consulted once per due sample; returning
+	// true loses that sample from the recorded stream (an acquisition
+	// dropout). Exact integrated energy is unaffected — the card still
+	// drew the power, the instrument just failed to log it.
+	Drop func() bool
 }
 
 // DefaultRateHz is the paper's DAQ sampling rate.
 const DefaultRateHz = 1000
 
-// New returns a Recorder sampling at the given rate; rates <= 0 use
-// DefaultRateHz.
+// New returns a Recorder sampling at the given rate; rates that are
+// zero, negative, NaN, or infinite use DefaultRateHz.
 func New(rateHz float64) *Recorder {
-	if rateHz <= 0 {
+	if rateHz <= 0 || math.IsNaN(rateHz) || math.IsInf(rateHz, 0) {
 		rateHz = DefaultRateHz
 	}
 	return &Recorder{period: 1 / rateHz}
 }
 
 // Observe advances the trace by duration seconds during which the card
-// drew the given constant rail powers. Negative durations are ignored.
+// drew the given constant rail powers. Non-positive or non-finite
+// durations and rails containing NaN or negative power are rejected:
+// they indicate a corrupted measurement interval, and folding them in
+// would poison the energy integrals.
 func (r *Recorder) Observe(duration float64, rails power.Rails) {
-	if duration <= 0 {
+	if duration <= 0 || math.IsNaN(duration) || math.IsInf(duration, 0) {
 		return
+	}
+	for _, w := range []float64{rails.GPU, rails.Mem, rails.Other} {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return
+		}
 	}
 	r.exact.GPU += rails.GPU * duration
 	r.exact.Mem += rails.Mem * duration
@@ -73,11 +89,18 @@ func (r *Recorder) Observe(duration float64, rails power.Rails) {
 
 	end := r.now + duration
 	for r.nextSample < end {
-		r.samples = append(r.samples, Sample{TimeS: r.nextSample, Rails: rails})
+		if r.Drop != nil && r.Drop() {
+			r.dropped++
+		} else {
+			r.samples = append(r.samples, Sample{TimeS: r.nextSample, Rails: rails})
+		}
 		r.nextSample += r.period
 	}
 	r.now = end
 }
+
+// Dropped returns how many due samples were lost to the Drop hook.
+func (r *Recorder) Dropped() int { return r.dropped }
 
 // Now returns the current trace time in seconds.
 func (r *Recorder) Now() float64 { return r.now }
@@ -109,6 +132,7 @@ func (r *Recorder) AveragePower() float64 {
 // Reset clears the trace.
 func (r *Recorder) Reset() {
 	r.now, r.nextSample, r.samples, r.exact = 0, 0, nil, Energy{}
+	r.dropped = 0
 }
 
 func (r *Recorder) String() string {

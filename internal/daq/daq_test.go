@@ -160,3 +160,80 @@ func TestObserveSplitInvarianceProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRejectsCorruptRatesAndDurations(t *testing.T) {
+	for _, rate := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -5} {
+		r := New(rate)
+		r.Observe(0.0101, rails(1, 0, 0))
+		if got := len(r.Samples()); got != 11 {
+			t.Errorf("New(%v): samples = %d, want 11 (fell back to 1 kHz)", rate, got)
+		}
+	}
+
+	r := New(1000)
+	for _, d := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		r.Observe(d, rails(100, 0, 0))
+	}
+	if r.Now() != 0 || r.Energy().Total() != 0 || len(r.Samples()) != 0 {
+		t.Errorf("non-finite durations changed state: %v", r)
+	}
+}
+
+func TestRejectsCorruptRails(t *testing.T) {
+	bad := []power.Rails{
+		rails(math.NaN(), 0, 0),
+		rails(0, math.NaN(), 0),
+		rails(0, 0, math.NaN()),
+		rails(math.Inf(1), 0, 0),
+		rails(-1, 0, 0),
+		rails(0, -0.5, 0),
+	}
+	r := New(1000)
+	for _, b := range bad {
+		r.Observe(1, b)
+	}
+	if r.Now() != 0 || r.Energy().Total() != 0 || len(r.Samples()) != 0 {
+		t.Errorf("corrupt rails changed state: %v", r)
+	}
+	// A clean interval after garbage still records normally.
+	r.Observe(1, rails(100, 50, 30))
+	if math.Abs(r.Energy().Total()-180) > 1e-9 {
+		t.Errorf("energy after recovery = %v, want 180", r.Energy().Total())
+	}
+}
+
+func TestSubPeriodIntervalsAccumulate(t *testing.T) {
+	// Intervals far shorter than the sampling period: the grid must not
+	// emit more than one sample per period boundary, and exact energy
+	// must still integrate every sliver.
+	r := New(1000)
+	for i := 0; i < 1000; i++ {
+		r.Observe(1e-5, rails(50, 0, 0)) // 10us x 1000 = 10ms
+	}
+	if got := r.Energy().Total(); math.Abs(got-50*0.01) > 1e-9 {
+		t.Errorf("exact energy = %v, want 0.5", got)
+	}
+	if got := len(r.Samples()); got != 10 {
+		t.Errorf("samples = %d, want 10 over a 10ms span", got)
+	}
+}
+
+func TestDropHookLosesSamplesNotEnergy(t *testing.T) {
+	r := New(1000)
+	n := 0
+	r.Drop = func() bool { n++; return n%2 == 0 } // drop every other sample
+	r.Observe(0.010, rails(100, 0, 0))
+	if got := len(r.Samples()); got != 5 {
+		t.Errorf("samples = %d, want 5 of 10 (half dropped)", got)
+	}
+	if got := r.Dropped(); got != 5 {
+		t.Errorf("Dropped = %d, want 5", got)
+	}
+	if math.Abs(r.Energy().Total()-1.0) > 1e-9 {
+		t.Errorf("exact energy affected by drops: %v", r.Energy().Total())
+	}
+	r.Reset()
+	if r.Dropped() != 0 {
+		t.Error("Reset did not clear the dropped counter")
+	}
+}

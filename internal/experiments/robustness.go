@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"harmonia/internal/core"
+	"harmonia/internal/faults"
+	"harmonia/internal/metrics"
+	"harmonia/internal/session"
+	"harmonia/internal/workloads"
+)
+
+// RobustnessPoint is one fault-intensity level of the robustness study:
+// geomean degradation of the naive (seed-algorithm) and hardened
+// controllers across the 14-application suite, relative to each
+// controller's own clean-platform result.
+type RobustnessPoint struct {
+	// Intensity scales the canonical fault profile; 0 is a clean
+	// platform, 1 is the full profile (see faults.Profile).
+	Intensity float64
+	// NaiveED2 and HardenedED2 are geomean ED2 ratios versus the clean
+	// run (1.0 = no degradation; 1.25 = ED2 inflated 25% by faults).
+	NaiveED2    float64
+	HardenedED2 float64
+	// NaiveSlowdown and HardenedSlowdown are geomean execution-time
+	// ratios versus the clean run, minus one.
+	NaiveSlowdown    float64
+	HardenedSlowdown float64
+}
+
+// RobustnessResult is the full sweep plus the parameters that make it
+// reproducible.
+type RobustnessResult struct {
+	Seed   int64
+	Points []RobustnessPoint
+}
+
+// DefaultIntensities is the fault-intensity grid the study sweeps.
+var DefaultIntensities = []float64{0, 0.25, 0.5, 1}
+
+// Robustness sweeps fault intensity over the whole application suite,
+// comparing the hardened Harmonia controller against the naive one
+// (hardening disabled — the controller exactly as the paper describes
+// it). Both controllers face the same fault profile derived from the
+// same per-application seed, and each is measured against its own
+// clean-platform run, so the ratios isolate fault sensitivity from
+// baseline algorithm differences. The study is deterministic: the same
+// seed reproduces the same fault sequences and the same numbers.
+func Robustness(e *Env, seed int64, intensities []float64) (RobustnessResult, error) {
+	if len(intensities) == 0 {
+		intensities = DefaultIntensities
+	}
+	out := RobustnessResult{Seed: seed}
+	suite := workloads.Suite()
+
+	// Clean-platform ED2 and time per application. By the clean-path
+	// equivalence property the hardened and naive controllers produce
+	// identical clean runs, so one run serves as both denominators.
+	cleanED2 := make([]float64, len(suite))
+	cleanTime := make([]float64, len(suite))
+	for i, app := range suite {
+		rep, err := e.session(e.harmonia()).Run(app)
+		if err != nil {
+			return out, err
+		}
+		cleanED2[i] = rep.ED2()
+		cleanTime[i] = rep.TotalTime()
+	}
+
+	for _, intensity := range intensities {
+		pt := RobustnessPoint{Intensity: intensity}
+		var ed2N, ed2H, tN, tH []float64
+		for i, app := range suite {
+			// Per-application seed: every app sees its own deterministic
+			// fault stream, stable across intensities and controllers.
+			appSeed := seed + int64(i+1)*7919
+			cfg := faults.Profile(appSeed, intensity)
+
+			runOne := func(hardened bool) (*session.Report, error) {
+				var p core.Options
+				p = core.Options{Predictor: e.Predictor()}
+				if !hardened {
+					p.Robust = core.RobustOptions{Disabled: true}
+				}
+				sess := e.session(core.New(p))
+				if cfg.Enabled() {
+					sess.Faults = faults.New(cfg)
+				}
+				return sess.Run(app)
+			}
+			repN, err := runOne(false)
+			if err != nil {
+				return out, err
+			}
+			repH, err := runOne(true)
+			if err != nil {
+				return out, err
+			}
+			ed2N = append(ed2N, repN.ED2()/cleanED2[i])
+			ed2H = append(ed2H, repH.ED2()/cleanED2[i])
+			tN = append(tN, repN.TotalTime()/cleanTime[i])
+			tH = append(tH, repH.TotalTime()/cleanTime[i])
+		}
+		pt.NaiveED2 = metrics.GeoMean(ed2N)
+		pt.HardenedED2 = metrics.GeoMean(ed2H)
+		pt.NaiveSlowdown = metrics.GeoMean(tN) - 1
+		pt.HardenedSlowdown = metrics.GeoMean(tH) - 1
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+func (r RobustnessResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Robustness study (seed %d): geomean degradation vs clean run\n", r.Seed)
+	b.WriteString("intensity   naive ED2  hardened ED2 | naive slowdown  hardened slowdown\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%9.2f   %8.3fx %12.3fx | %13.2f%% %17.2f%%\n",
+			p.Intensity, p.NaiveED2, p.HardenedED2,
+			p.NaiveSlowdown*100, p.HardenedSlowdown*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRobustnessStudy is the robustness acceptance gate: at two or more
+// non-zero fault intensities the hardened controller must degrade
+// strictly less than the naive one, the clean point must show no
+// degradation for either, and the whole study must be reproducible from
+// its seed.
+func TestRobustnessStudy(t *testing.T) {
+	e := NewEnv()
+	res, err := Robustness(e, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+
+	if len(res.Points) != len(DefaultIntensities) {
+		t.Fatalf("got %d points, want %d", len(res.Points), len(DefaultIntensities))
+	}
+
+	clean := res.Points[0]
+	if clean.Intensity != 0 {
+		t.Fatalf("first point intensity = %v, want 0", clean.Intensity)
+	}
+	if math.Abs(clean.NaiveED2-1) > 1e-12 || math.Abs(clean.HardenedED2-1) > 1e-12 {
+		t.Errorf("clean point shows degradation: naive %v, hardened %v",
+			clean.NaiveED2, clean.HardenedED2)
+	}
+
+	wins := 0
+	for _, p := range res.Points[1:] {
+		if p.HardenedED2 < p.NaiveED2 {
+			wins++
+		}
+		if p.HardenedED2 <= 0 || p.NaiveED2 <= 0 ||
+			math.IsNaN(p.HardenedED2) || math.IsNaN(p.NaiveED2) {
+			t.Fatalf("intensity %v: non-positive or NaN geomean", p.Intensity)
+		}
+	}
+	if wins < 2 {
+		t.Errorf("hardened beat naive at only %d non-zero intensities, want >= 2\n%s", wins, res)
+	}
+
+	// Reproducibility: same seed, same numbers, bit for bit.
+	res2, err := Robustness(e, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Points {
+		if res.Points[i] != res2.Points[i] {
+			t.Fatalf("study not reproducible at intensity %v:\n%+v\n%+v",
+				res.Points[i].Intensity, res.Points[i], res2.Points[i])
+		}
+	}
+}

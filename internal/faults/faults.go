@@ -1,0 +1,270 @@
+// Package faults is a composable, seed-deterministic fault-injection
+// layer for the simulated platform. It perturbs what the Harmonia
+// controller and the DAQ observe — never the underlying physics — so the
+// CG+FG control loop can be exercised against the degraded inputs a real
+// HD 7970 deployment produces: noisy performance counters, dropped or
+// stale monitoring samples, DPM transitions that fail or lag, transient
+// thermal-throttle events, and power-telemetry sample dropout.
+//
+// The injector sits between the session and the policy (see
+// internal/session): the simulator always runs the configuration the
+// hardware actually reached and the report records true time and energy,
+// while the policy sees the faulted view. All randomness flows from a
+// single seeded source in deterministic call order, so a given
+// (Config, workload, policy) triple replays the same fault sequence
+// run after run.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"harmonia/internal/gpusim"
+	"harmonia/internal/hw"
+)
+
+// Config parameterizes the injector. All rates are per-kernel-boundary
+// probabilities in [0, 1] (DAQDropRate is per DAQ sample). The zero
+// value injects nothing.
+type Config struct {
+	// Seed fixes the pseudo-random fault sequence. The same seed with
+	// the same workload and policy replays identical faults.
+	Seed int64
+
+	// CounterNoise is the standard deviation of the multiplicative
+	// Gaussian noise applied to the event-derived counters the
+	// controller observes (VALUBusy, MemUnitBusy, and friends). The
+	// digitally latched DPM-state registers (NormCUsActive, NormCUClock,
+	// NormMemClock) stay exact, as they do on real hardware.
+	CounterNoise float64
+
+	// CounterDropRate is the probability a monitoring sample is lost at
+	// a kernel boundary; the controller then sees the previous delivered
+	// sample again (a stale read), emulating a failed counter fetch.
+	CounterDropRate float64
+
+	// TransitionFailRate is the probability that a commanded
+	// configuration change fails to latch, leaving the hardware stuck at
+	// its previous operating point.
+	TransitionFailRate float64
+	// TransitionStick is how many kernel boundaries a failed transition
+	// sticks before commands latch again. Zero means 1.
+	TransitionStick int
+
+	// ThrottleRate is the probability a transient thermal-throttle event
+	// begins at a kernel boundary. While throttled, the hardware forces
+	// the compute frequency ThrottleLevels grid steps below whatever is
+	// commanded, exactly as PowerTune's thermal manager overrides the
+	// driver (Section 2.3 of the paper).
+	ThrottleRate float64
+	// ThrottleLevels is how many compute-frequency levels a throttle
+	// forces down. Zero means 2.
+	ThrottleLevels int
+	// ThrottleDuration is how many kernel boundaries a throttle lasts.
+	// Zero means 3.
+	ThrottleDuration int
+
+	// DAQDropRate is the probability an individual 1 kHz power sample is
+	// lost from the recorded trace (the NI card's buffer overruns on the
+	// real bench; exact integrated energy is unaffected because the GPU
+	// still drew the power).
+	DAQDropRate float64
+}
+
+// Enabled reports whether the configuration injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.CounterNoise > 0 || c.CounterDropRate > 0 ||
+		c.TransitionFailRate > 0 || c.ThrottleRate > 0 || c.DAQDropRate > 0
+}
+
+// Scale returns a copy of the configuration with every rate and the
+// noise magnitude multiplied by intensity (clamped to [0, 1] for the
+// probabilities). Durations and seeds are unchanged.
+func (c Config) Scale(intensity float64) Config {
+	clamp01 := func(v float64) float64 { return math.Max(0, math.Min(1, v)) }
+	out := c
+	out.CounterNoise = c.CounterNoise * intensity
+	out.CounterDropRate = clamp01(c.CounterDropRate * intensity)
+	out.TransitionFailRate = clamp01(c.TransitionFailRate * intensity)
+	out.ThrottleRate = clamp01(c.ThrottleRate * intensity)
+	out.DAQDropRate = clamp01(c.DAQDropRate * intensity)
+	return out
+}
+
+// Profile returns the canonical fault profile used by the robustness
+// study: at intensity 1 it combines 20% multiplicative counter noise,
+// 15% sample drop, 20% transition failure (sticking 2 boundaries), 8%
+// thermal-throttle onset, and 10% DAQ dropout. Intensity scales all
+// rates and the noise magnitude linearly; 0 disables everything.
+func Profile(seed int64, intensity float64) Config {
+	return Config{
+		Seed:               seed,
+		CounterNoise:       0.20,
+		CounterDropRate:    0.15,
+		TransitionFailRate: 0.20,
+		TransitionStick:    2,
+		ThrottleRate:       0.08,
+		ThrottleLevels:     2,
+		ThrottleDuration:   3,
+		DAQDropRate:        0.10,
+	}.Scale(intensity)
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("faults{seed=%d noise=%.2f drop=%.2f stick=%.2f×%d throttle=%.2f daq=%.2f}",
+		c.Seed, c.CounterNoise, c.CounterDropRate, c.TransitionFailRate,
+		c.stick(), c.ThrottleRate, c.DAQDropRate)
+}
+
+func (c Config) stick() int {
+	if c.TransitionStick <= 0 {
+		return 1
+	}
+	return c.TransitionStick
+}
+
+func (c Config) throttleLevels() int {
+	if c.ThrottleLevels <= 0 {
+		return 2
+	}
+	return c.ThrottleLevels
+}
+
+func (c Config) throttleDuration() int {
+	if c.ThrottleDuration <= 0 {
+		return 3
+	}
+	return c.ThrottleDuration
+}
+
+// Injector applies one fault configuration to one session run. It is
+// stateful (stuck transitions and throttle events span kernel
+// boundaries), so construct a fresh Injector per run; runs built from
+// the same Config replay the same fault sequence.
+type Injector struct {
+	cfg Config
+	rng *rand.Rand
+
+	haveApplied  bool
+	applied      hw.Config // configuration the hardware last latched
+	stickLeft    int       // boundaries the current stuck transition has left
+	throttleLeft int       // boundaries the current throttle event has left
+
+	// last delivered observation per kernel, replayed on sample drops.
+	lastObs map[string]gpusim.Result
+
+	// Event counters for reporting and tests.
+	stuck, throttles, staleSamples, daqDrops int
+}
+
+// New returns an injector for the given fault configuration.
+func New(cfg Config) *Injector {
+	return &Injector{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		lastObs: make(map[string]gpusim.Result),
+	}
+}
+
+// Config returns the injector's fault configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Stats reports how many transition failures, throttle events, stale
+// monitoring samples, and dropped DAQ samples the injector produced.
+func (in *Injector) Stats() (stuck, throttles, stale, daqDrops int) {
+	return in.stuck, in.throttles, in.staleSamples, in.daqDrops
+}
+
+// ApplyConfig models the hardware receiving a commanded configuration at
+// a kernel boundary and returns the configuration actually in effect:
+// the previous operating point when a transition fails or is still
+// sticking, and a thermally throttled compute frequency while a throttle
+// event is active.
+func (in *Injector) ApplyConfig(commanded hw.Config) hw.Config {
+	actual := commanded
+	switch {
+	case !in.haveApplied:
+		// First command of the run always latches: there is no previous
+		// operating point to stick at.
+		in.haveApplied = true
+		in.applied = commanded
+	case in.stickLeft > 0:
+		in.stickLeft--
+		actual = in.applied
+	case commanded != in.applied && in.cfg.TransitionFailRate > 0 &&
+		in.rng.Float64() < in.cfg.TransitionFailRate:
+		in.stuck++
+		in.stickLeft = in.cfg.stick() - 1
+		actual = in.applied
+	default:
+		in.applied = commanded
+	}
+
+	// Thermal throttle overlays the latched configuration; when the
+	// event ends the hardware returns to whatever is commanded.
+	if in.throttleLeft > 0 {
+		in.throttleLeft--
+		actual = in.throttle(actual)
+	} else if in.cfg.ThrottleRate > 0 && in.rng.Float64() < in.cfg.ThrottleRate {
+		in.throttles++
+		in.throttleLeft = in.cfg.throttleDuration() - 1
+		actual = in.throttle(actual)
+	}
+	return actual
+}
+
+func (in *Injector) throttle(c hw.Config) hw.Config {
+	t := hw.TunableCUFreq
+	return t.WithLevel(c, t.LevelFor(c)-in.cfg.throttleLevels())
+}
+
+// Observation returns the monitoring sample the policy sees for the
+// given true simulation result: possibly the previous sample replayed
+// (counter fetch dropped), otherwise the true counters with
+// multiplicative Gaussian noise on the event-derived fields. The
+// DPM-state registers and the echoed configuration stay exact.
+func (in *Injector) Observation(kernel string, res gpusim.Result) gpusim.Result {
+	if in.cfg.CounterDropRate > 0 && in.rng.Float64() < in.cfg.CounterDropRate {
+		if prev, ok := in.lastObs[kernel]; ok {
+			in.staleSamples++
+			return prev
+		}
+	}
+	out := res
+	if sigma := in.cfg.CounterNoise; sigma > 0 {
+		noisy := func(v float64) float64 { return v * (1 + sigma*in.rng.NormFloat64()) }
+		pct := func(v float64) float64 { return math.Max(0, math.Min(100, noisy(v))) }
+		frac := func(v float64) float64 { return math.Max(0, math.Min(1, noisy(v))) }
+		cs := out.Counters
+		cs.VALUBusy = pct(cs.VALUBusy)
+		cs.VALUUtilization = pct(cs.VALUUtilization)
+		cs.MemUnitBusy = pct(cs.MemUnitBusy)
+		cs.MemUnitStalled = pct(cs.MemUnitStalled)
+		cs.WriteUnitStalled = pct(cs.WriteUnitStalled)
+		cs.ICActivity = frac(cs.ICActivity)
+		cs.L2HitRate = frac(cs.L2HitRate)
+		cs.Occupancy = frac(cs.Occupancy)
+		cs.VALUInsts = math.Max(0, noisy(cs.VALUInsts))
+		cs.VFetchInsts = math.Max(0, noisy(cs.VFetchInsts))
+		cs.VWriteInsts = math.Max(0, noisy(cs.VWriteInsts))
+		out.Counters = cs
+	}
+	in.lastObs[kernel] = out
+	return out
+}
+
+// DropDAQSample reports whether the next DAQ sample is lost from the
+// recorded trace. It is wired into the recorder's drop hook.
+func (in *Injector) DropDAQSample() bool {
+	if in.cfg.DAQDropRate <= 0 || in.rng.Float64() >= in.cfg.DAQDropRate {
+		return false
+	}
+	in.daqDrops++
+	return true
+}
+
+func (in *Injector) String() string {
+	return fmt.Sprintf("injector(%v: %d stuck, %d throttles, %d stale, %d daq drops)",
+		in.cfg, in.stuck, in.throttles, in.staleSamples, in.daqDrops)
+}

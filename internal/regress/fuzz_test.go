@@ -47,8 +47,8 @@ func FuzzFitStability(f *testing.F) {
 				t.Fatalf("non-finite coefficient: %v", c)
 			}
 		}
-		if p := m.Predict([]float64{1, 1}); math.IsNaN(p) || math.IsInf(p, 0) {
-			t.Fatalf("non-finite prediction: %v", p)
+		if p, err := m.Predict([]float64{1, 1}); err != nil || math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("bad prediction: %v, %v", p, err)
 		}
 		if m.R2 > 1+1e-9 {
 			t.Fatalf("R2 = %v > 1", m.R2)

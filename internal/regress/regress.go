@@ -29,12 +29,20 @@ type Model struct {
 	Corr float64
 }
 
-// Predict evaluates the model at feature vector x. It panics if x has the
-// wrong length, which indicates a programming error rather than bad data.
-func (m *Model) Predict(x []float64) float64 {
+// Predict evaluates the model at feature vector x. A feature vector of
+// the wrong length returns an error: models are often driven by
+// externally sourced counter sets, and a shape mismatch there should be
+// reported, not crash the controller.
+func (m *Model) Predict(x []float64) (float64, error) {
 	if len(x) != len(m.Coeffs) {
-		panic(fmt.Sprintf("regress: predict with %d features, model has %d", len(x), len(m.Coeffs)))
+		return 0, fmt.Errorf("regress: predict with %d features, model has %d", len(x), len(m.Coeffs))
 	}
+	return m.eval(x), nil
+}
+
+// eval evaluates the model without shape checking; callers guarantee
+// len(x) == len(m.Coeffs).
+func (m *Model) eval(x []float64) float64 {
 	y := m.Intercept
 	for i, c := range m.Coeffs {
 		y += c * x[i]
@@ -114,7 +122,7 @@ func Fit(X [][]float64, y []float64, names []string) (*Model, error) {
 	// Training-set quality.
 	fitted := make([]float64, n)
 	for r := 0; r < n; r++ {
-		fitted[r] = m.Predict(X[r])
+		fitted[r] = m.eval(X[r])
 	}
 	m.R2 = rSquared(y, fitted)
 	m.Corr = Pearson(y, fitted)

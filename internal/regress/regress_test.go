@@ -74,14 +74,18 @@ func TestFitShapeErrors(t *testing.T) {
 	}
 }
 
-func TestPredictPanicsOnWrongLength(t *testing.T) {
-	m := &Model{Coeffs: []float64{1, 2}}
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for wrong feature count")
-		}
-	}()
-	m.Predict([]float64{1})
+func TestPredictErrorsOnWrongLength(t *testing.T) {
+	m := &Model{Intercept: 1, Coeffs: []float64{1, 2}}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Error("expected error for wrong feature count")
+	}
+	if _, err := m.Predict(nil); err == nil {
+		t.Error("expected error for nil feature vector")
+	}
+	got, err := m.Predict([]float64{1, 1})
+	if err != nil || got != 4 {
+		t.Errorf("Predict = %v, %v; want 4, nil", got, err)
+	}
 }
 
 func TestPearson(t *testing.T) {

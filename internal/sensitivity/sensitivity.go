@@ -160,14 +160,27 @@ type Predictor struct {
 // clampSens keeps predictions in a physically meaningful range.
 func clampSens(v float64) float64 { return math.Max(-0.5, math.Min(1.5, v)) }
 
+// predict evaluates a model, clamping the result. A shape mismatch
+// between the feature vector and the model (a model trained against a
+// different counter set than the one driving it) falls back to maximum
+// sensitivity: the conservative answer — bin High, keep the resource up
+// — so a misconfigured predictor degrades performance never correctness.
+func predict(m *regress.Model, x []float64) float64 {
+	v, err := m.Predict(x)
+	if err != nil {
+		return clampSens(1.5)
+	}
+	return clampSens(v)
+}
+
 // PredictBandwidth returns the predicted memory-bandwidth sensitivity.
 func (p *Predictor) PredictBandwidth(cs counters.Set) float64 {
-	return clampSens(p.Bandwidth.Predict(cs.BandwidthFeatures()))
+	return predict(p.Bandwidth, cs.BandwidthFeatures())
 }
 
 // PredictCompute returns the predicted aggregate compute sensitivity.
 func (p *Predictor) PredictCompute(cs counters.Set) float64 {
-	return clampSens(p.Compute.Predict(cs.ComputeFeatures()))
+	return predict(p.Compute, cs.ComputeFeatures())
 }
 
 // PredictCUs returns the predicted CU-count sensitivity.
@@ -175,7 +188,7 @@ func (p *Predictor) PredictCUs(cs counters.Set) float64 {
 	if p.CUs == nil {
 		return p.PredictCompute(cs)
 	}
-	return clampSens(p.CUs.Predict(cs.ExtendedFeatures()))
+	return predict(p.CUs, cs.ExtendedFeatures())
 }
 
 // PredictCUFreq returns the predicted compute-frequency sensitivity.
@@ -183,7 +196,7 @@ func (p *Predictor) PredictCUFreq(cs counters.Set) float64 {
 	if p.CUFreq == nil {
 		return p.PredictCompute(cs)
 	}
-	return clampSens(p.CUFreq.Predict(cs.ExtendedFeatures()))
+	return predict(p.CUFreq, cs.ExtendedFeatures())
 }
 
 // PredictBins returns the per-tunable sensitivity bins for a counter
@@ -358,16 +371,21 @@ func Evaluate(p *Predictor, points []TrainingPoint) Accuracy {
 	}
 }
 
-// DefaultPredictor trains the predictor on the full workload suite with
-// the default simulator, using per-configuration training rows so that
-// runtime predictions are in-distribution at any operating point. It is
-// what the experiments and the public API use when no custom model is
-// supplied.
+// TrainDefault trains the predictor on the full workload suite with the
+// default simulator, using per-configuration training rows so that
+// runtime predictions are in-distribution at any operating point,
+// returning any training failure as an error.
+func TrainDefault() (*Predictor, error) {
+	return Train(BuildConfigTrainingSet(gpusim.Default(), workloads.AllKernels()))
+}
+
+// DefaultPredictor is TrainDefault for callers that cannot propagate an
+// error; it is what the experiments and the public API use when no
+// custom model is supplied. The default suite is a fixed, known-good
+// training set, so a failure is a programming error and panics.
 func DefaultPredictor() *Predictor {
-	p, err := Train(BuildConfigTrainingSet(gpusim.Default(), workloads.AllKernels()))
+	p, err := TrainDefault()
 	if err != nil {
-		// The default suite is a fixed, known-good training set; failure
-		// here is a programming error.
 		panic(err)
 	}
 	return p

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"harmonia/internal/daq"
+	"harmonia/internal/faults"
 	"harmonia/internal/gpusim"
 	"harmonia/internal/hw"
 	"harmonia/internal/metrics"
@@ -25,6 +26,14 @@ type Session struct {
 	Policy policy.Policy
 	// DAQRateHz is the power sampling rate; zero uses the paper's 1 kHz.
 	DAQRateHz float64
+	// Faults, when non-nil, injects platform faults between the
+	// simulator and what the policy and DAQ observe: commanded
+	// configurations may fail to latch or be thermally throttled, the
+	// policy's monitoring samples may be noisy or stale, and DAQ trace
+	// samples may drop. The report always records the true physics (the
+	// configuration actually run, exact time and energy). Injectors are
+	// stateful: use a fresh one per run.
+	Faults *faults.Injector
 }
 
 // New returns a session with default simulator and power model.
@@ -36,9 +45,14 @@ func New(p policy.Policy) *Session {
 type KernelRun struct {
 	Kernel string
 	Iter   int
+	// Config is the configuration the hardware actually ran at.
 	Config hw.Config
-	Result gpusim.Result
-	Rails  power.Rails
+	// Commanded is the configuration the policy asked for; it differs
+	// from Config only when fault injection made a transition fail or a
+	// thermal throttle override the command.
+	Commanded hw.Config
+	Result    gpusim.Result
+	Rails     power.Rails
 }
 
 // Sample returns the invocation as a metrics sample (time at card power).
@@ -63,6 +77,9 @@ func (s *Session) Run(app *workloads.Application) (*Report, error) {
 		return nil, err
 	}
 	rec := daq.New(s.DAQRateHz)
+	if s.Faults != nil {
+		rec.Drop = s.Faults.DropDAQSample
+	}
 	rep := &Report{App: app.Name, Policy: s.Policy.Name()}
 	for iter := 0; iter < app.Iterations; iter++ {
 		for _, k := range app.Kernels {
@@ -71,16 +88,24 @@ func (s *Session) Run(app *workloads.Application) (*Report, error) {
 				return nil, fmt.Errorf("session: policy %s returned invalid config %v for %s",
 					s.Policy.Name(), cfg, k.Name)
 			}
-			res := s.Sim.Run(k, iter, cfg)
-			rails := s.Power.Rails(cfg, power.Activity{
+			actual := cfg
+			if s.Faults != nil {
+				actual = s.Faults.ApplyConfig(cfg)
+			}
+			res := s.Sim.Run(k, iter, actual)
+			rails := s.Power.Rails(actual, power.Activity{
 				VALUBusyFrac:    res.Counters.VALUBusy / 100,
 				MemUnitBusyFrac: res.Counters.MemUnitBusy / 100,
 				AchievedGBs:     res.AchievedGBs,
 			})
 			rec.Observe(res.Time, rails)
-			s.Policy.Observe(k.Name, iter, res)
+			obs := res
+			if s.Faults != nil {
+				obs = s.Faults.Observation(k.Name, res)
+			}
+			s.Policy.Observe(k.Name, iter, obs)
 			rep.Runs = append(rep.Runs, KernelRun{
-				Kernel: k.Name, Iter: iter, Config: cfg, Result: res, Rails: rails,
+				Kernel: k.Name, Iter: iter, Config: actual, Commanded: cfg, Result: res, Rails: rails,
 			})
 		}
 	}

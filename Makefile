@@ -1,10 +1,16 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz
+.PHONY: check build vet test race fuzz serve fmt-check
 
-# The full pre-commit gate: build, vet, and the test suite under the
-# race detector.
-check: build vet race
+# The full pre-commit gate: formatting, build, vet, and the test suite
+# under the race detector.
+check: fmt-check build vet race
+
+fmt-check:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -17,6 +23,10 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Run the HTTP evaluation service on :8792 (see cmd/harmonia-serve).
+serve:
+	$(GO) run ./cmd/harmonia-serve
 
 # Short fuzzing pass over every fuzz target in internal/core.
 fuzz:

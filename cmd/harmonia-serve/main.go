@@ -1,0 +1,99 @@
+// Command harmonia-serve runs the simulated Harmonia platform as a
+// long-lived HTTP evaluation service with built-in Prometheus-style
+// telemetry.
+//
+// Usage:
+//
+//	harmonia-serve [-addr :8792] [-workers N] [-run-ttl 1h] [-max-runs 4096] [-pretrain]
+//
+// Endpoints:
+//
+//	POST /v1/runs            execute an app under a policy (JSON body)
+//	GET  /v1/runs            list retained runs
+//	GET  /v1/runs/{id}       one run's report
+//	GET  /v1/runs/{id}/trace the 1 kHz power trace (CSV; ?format=json)
+//	GET  /v1/apps            the 14-application evaluation suite
+//	GET  /v1/configs         the legal hardware configuration space
+//	GET  /healthz            liveness
+//	GET  /metrics            Prometheus text-format telemetry
+//
+// Example:
+//
+//	curl -s localhost:8792/v1/runs -d '{"app":"Graph500","policy":"harmonia"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"harmonia"
+	"harmonia/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8792", "listen address")
+		workers  = flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS)")
+		runTTL   = flag.Duration("run-ttl", time.Hour, "how long finished runs stay pollable (negative = forever)")
+		maxRuns  = flag.Int("max-runs", 4096, "cap on retained run records (negative = unbounded)")
+		pretrain = flag.Bool("pretrain", true, "train the sensitivity predictor at startup instead of on the first harmonia request")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "harmonia-serve ", log.LstdFlags|log.LUTC)
+
+	reg := harmonia.NewTelemetry()
+	sys := harmonia.NewSystem(harmonia.WithTelemetry(reg))
+	if *pretrain {
+		t0 := time.Now()
+		if _, err := sys.TrainedPredictor(); err != nil {
+			logger.Fatalf("training sensitivity predictor: %v", err)
+		}
+		logger.Printf("predictor trained in %s", time.Since(t0).Round(time.Millisecond))
+	}
+
+	srv := serve.New(sys, serve.Options{
+		Workers:   *workers,
+		RunTTL:    *runTTL,
+		MaxRuns:   *maxRuns,
+		Telemetry: reg,
+		Logger:    logger,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s", *addr)
+
+	select {
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "harmonia-serve:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -29,7 +29,9 @@
 package harmonia
 
 import (
+	"context"
 	"io"
+	"sync"
 
 	"harmonia/internal/analysis"
 	"harmonia/internal/core"
@@ -44,6 +46,7 @@ import (
 	"harmonia/internal/policy"
 	"harmonia/internal/sensitivity"
 	"harmonia/internal/session"
+	"harmonia/internal/telemetry"
 	"harmonia/internal/workloads"
 
 	powermodel "harmonia/internal/power"
@@ -89,8 +92,14 @@ type (
 	RobustOptions = core.RobustOptions
 
 	// FaultConfig parameterizes the platform fault-injection layer
-	// (System.WithFaults). The zero value injects nothing.
+	// (WithFaultInjection / RunWithFaults). The zero value injects
+	// nothing.
 	FaultConfig = faults.Config
+
+	// Telemetry is a metrics registry (counters, gauges, histograms
+	// with Prometheus text exposition). Attach one with WithTelemetry
+	// and every run records traffic metrics into it.
+	Telemetry = telemetry.Registry
 
 	// Predictor holds the trained sensitivity models.
 	Predictor = sensitivity.Predictor
@@ -133,45 +142,157 @@ const (
 
 // System bundles the simulated platform: timing simulator, power model,
 // and a lazily trained sensitivity predictor.
+//
+// A System is safe for concurrent use: many goroutines may call
+// RunContext/Run and the controller constructors on one shared System
+// (the timing and power models are immutable calibration constants, the
+// predictor trains exactly once, and fault configuration is snapshotted
+// per run). The exceptions are the explicitly mutating setters —
+// EnableMemVoltageScaling and direct writes to Sim/Power — which must
+// happen before the System is shared.
 type System struct {
 	Sim   *gpusim.Model
 	Power *powermodel.Model
 
-	pred   *sensitivity.Predictor
-	faults *faults.Config
+	// predMu guards pred; trainOnce/trainErr serialize lazy training.
+	predMu    sync.Mutex
+	pred      *sensitivity.Predictor
+	trainOnce sync.Once
+	trainErr  error
+
+	faultsMu sync.Mutex
+	faults   *faults.Config
+
+	telemetry *telemetry.Registry
 }
 
-// NewSystem returns a System with the default calibrated platform.
-func NewSystem() *System {
-	return &System{Sim: gpusim.Default(), Power: powermodel.Default()}
+// Option configures a System at construction (the v2 construction
+// style; see NewSystem).
+type Option func(*System)
+
+// WithFaultInjection arms the platform fault-injection layer at
+// construction: every run executes under a fresh, seed-deterministic
+// injector built from fc, unless overridden per run with RunWithFaults
+// or RunWithoutFaults.
+func WithFaultInjection(fc FaultConfig) Option {
+	return func(s *System) { s.faults = &fc }
+}
+
+// WithPredictor installs a pre-trained sensitivity predictor, skipping
+// the lazy training sweep (e.g. one trained with TrainPredictor on
+// custom workloads, or PaperTable3).
+func WithPredictor(p *Predictor) Option {
+	return func(s *System) { s.pred = p }
+}
+
+// WithTelemetry attaches a metrics registry: every run records traffic
+// instrumentation (runs started/completed/failed, kernel invocations,
+// simulated seconds, per-policy ED² histograms) into it. Recording is
+// pure observation and never changes run results.
+func WithTelemetry(t *Telemetry) Option {
+	return func(s *System) { s.telemetry = t }
+}
+
+// NewSystem returns a System with the default calibrated platform,
+// adjusted by the given options:
+//
+//	sys := harmonia.NewSystem(
+//	    harmonia.WithFaultInjection(harmonia.FaultProfile(42, 0.5)),
+//	    harmonia.WithTelemetry(harmonia.NewTelemetry()),
+//	)
+func NewSystem(opts ...Option) *System {
+	s := &System{Sim: gpusim.Default(), Power: powermodel.Default()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// NewTelemetry returns an empty metrics registry for WithTelemetry;
+// expose it with its WritePrometheus method (cmd/harmonia-serve does
+// both automatically).
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// Telemetry returns the registry attached with WithTelemetry, or nil.
+func (s *System) Telemetry() *Telemetry { return s.telemetry }
+
+// TrainedPredictor returns the system's sensitivity predictor, training
+// it on the standard workload suite on first use (an exhaustive sweep
+// of the 448-point configuration space). Training happens exactly once
+// even under concurrent callers; every caller observes the same
+// predictor or the same training error.
+func (s *System) TrainedPredictor() (*Predictor, error) {
+	s.predMu.Lock()
+	if p := s.pred; p != nil {
+		s.predMu.Unlock()
+		return p, nil
+	}
+	s.predMu.Unlock()
+	s.trainOnce.Do(func() {
+		p, err := s.TrainPredictor(workloads.AllKernels())
+		if err != nil {
+			s.trainErr = err
+			return
+		}
+		s.predMu.Lock()
+		if s.pred == nil { // an interleaved UsePredictor wins
+			s.pred = p
+		}
+		s.predMu.Unlock()
+	})
+	if s.trainErr != nil {
+		return nil, s.trainErr
+	}
+	s.predMu.Lock()
+	defer s.predMu.Unlock()
+	return s.pred, nil
 }
 
 // Predictor returns the system's sensitivity predictor, training it on
-// the standard workload suite on first use (an exhaustive sweep of the
-// 448-point configuration space; it takes a moment).
+// first use.
+//
+// Deprecated: Predictor panics if training fails. Use TrainedPredictor,
+// which returns the error instead.
 func (s *System) Predictor() *Predictor {
-	if s.pred == nil {
-		p, err := s.TrainPredictor(workloads.AllKernels())
-		if err != nil {
-			panic(err) // the default training set is fixed and known good
-		}
-		s.pred = p
+	p, err := s.TrainedPredictor()
+	if err != nil {
+		panic(err) // the default training set is fixed and known good
 	}
-	return s.pred
+	return p
 }
 
 // UsePredictor installs a custom predictor (e.g. one trained with
 // TrainPredictor on user workloads).
-func (s *System) UsePredictor(p *Predictor) { s.pred = p }
+//
+// Deprecated: prefer the construction option WithPredictor, which
+// cannot race with runs already in flight.
+func (s *System) UsePredictor(p *Predictor) {
+	s.predMu.Lock()
+	s.pred = p
+	s.predMu.Unlock()
+}
 
 // Harmonia returns a fresh Harmonia controller (coarse-grain plus
-// fine-grain tuning) bound to this system's predictor.
+// fine-grain tuning) bound to this system's predictor, panicking if
+// lazy training fails; HarmoniaE returns the error instead.
 func (s *System) Harmonia() *Controller {
 	return core.New(core.Options{Predictor: s.Predictor()})
 }
 
+// HarmoniaE is Harmonia with the lazy-training error returned rather
+// than panicked (the v2 style; the E suffix mirrors the template
+// package's Must-free variants).
+func (s *System) HarmoniaE() (*Controller, error) {
+	p, err := s.TrainedPredictor()
+	if err != nil {
+		return nil, err
+	}
+	return core.New(core.Options{Predictor: p}), nil
+}
+
 // HarmoniaWith returns a Harmonia controller with custom options; a nil
-// options predictor defaults to the system's.
+// options predictor defaults to the system's. Panics if lazy training
+// fails; HarmoniaWithE returns the error instead.
 func (s *System) HarmoniaWith(opts ControllerOptions) *Controller {
 	if opts.Predictor == nil {
 		opts.Predictor = s.Predictor()
@@ -179,16 +300,51 @@ func (s *System) HarmoniaWith(opts ControllerOptions) *Controller {
 	return core.New(opts)
 }
 
+// HarmoniaWithE is HarmoniaWith with the lazy-training error returned
+// rather than panicked.
+func (s *System) HarmoniaWithE(opts ControllerOptions) (*Controller, error) {
+	if opts.Predictor == nil {
+		p, err := s.TrainedPredictor()
+		if err != nil {
+			return nil, err
+		}
+		opts.Predictor = p
+	}
+	return core.New(opts), nil
+}
+
 // CGOnly returns the coarse-grain-only variant used in the paper's CG
-// bars (Figures 10-13).
+// bars (Figures 10-13). Panics if lazy training fails; CGOnlyE returns
+// the error instead.
 func (s *System) CGOnly() *Controller {
 	return core.New(core.Options{Predictor: s.Predictor(), DisableFG: true})
 }
 
+// CGOnlyE is CGOnly with the lazy-training error returned rather than
+// panicked.
+func (s *System) CGOnlyE() (*Controller, error) {
+	p, err := s.TrainedPredictor()
+	if err != nil {
+		return nil, err
+	}
+	return core.New(core.Options{Predictor: p, DisableFG: true}), nil
+}
+
 // ComputeDVFSOnly returns the compute-frequency-only policy of the
-// paper's Section 7.2 study.
+// paper's Section 7.2 study. Panics if lazy training fails;
+// ComputeDVFSOnlyE returns the error instead.
 func (s *System) ComputeDVFSOnly() *Controller {
 	return core.NewComputeOnly(s.Predictor())
+}
+
+// ComputeDVFSOnlyE is ComputeDVFSOnly with the lazy-training error
+// returned rather than panicked.
+func (s *System) ComputeDVFSOnlyE() (*Controller, error) {
+	p, err := s.TrainedPredictor()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewComputeOnly(p), nil
 }
 
 // Baseline returns the stock PowerTune behaviour: boost frequency, all
@@ -224,15 +380,37 @@ func (s *System) Oracle(apps ...*Application) Policy {
 // workload and policy, which makes A/B policy comparisons under
 // identical faults meaningful. It returns s for chaining; use
 // WithoutFaults to disarm.
+//
+// Deprecated: WithFaults mutates shared System state. Prefer the
+// construction option WithFaultInjection, or the per-run option
+// RunWithFaults, both of which are safe while other runs are in flight.
 func (s *System) WithFaults(fc FaultConfig) *System {
+	s.faultsMu.Lock()
 	s.faults = &fc
+	s.faultsMu.Unlock()
 	return s
 }
 
 // WithoutFaults disarms the fault-injection layer.
+//
+// Deprecated: see WithFaults; prefer RunWithoutFaults per run.
 func (s *System) WithoutFaults() *System {
+	s.faultsMu.Lock()
 	s.faults = nil
+	s.faultsMu.Unlock()
 	return s
+}
+
+// faultConfig snapshots the armed fault configuration, so a run holds
+// an immutable copy even if WithFaults/WithoutFaults race with it.
+func (s *System) faultConfig() *faults.Config {
+	s.faultsMu.Lock()
+	defer s.faultsMu.Unlock()
+	if s.faults == nil {
+		return nil
+	}
+	fc := *s.faults
+	return &fc
 }
 
 // FaultProfile returns the canonical fault profile of the robustness
@@ -242,23 +420,74 @@ func FaultProfile(seed int64, intensity float64) FaultConfig {
 	return faults.Profile(seed, intensity)
 }
 
-// Run executes the application under the policy and returns the report.
-func (s *System) Run(app *Application, p Policy) (*Report, error) {
-	sess := &session.Session{Sim: s.Sim, Power: s.Power, Policy: p}
-	if s.faults != nil && s.faults.Enabled() {
-		sess.Faults = faults.New(*s.faults)
+// RunOption adjusts one RunContext call without touching shared System
+// state, so concurrent runs with different settings can share a System.
+type RunOption func(*runSettings)
+
+type runSettings struct {
+	faults *faults.Config
+}
+
+// RunWithFaults executes this run under a fresh, seed-deterministic
+// injector built from fc, overriding whatever fault configuration the
+// System was constructed with.
+func RunWithFaults(fc FaultConfig) RunOption {
+	return func(rs *runSettings) { rs.faults = &fc }
+}
+
+// RunWithoutFaults executes this run fault-free even when the System
+// was constructed with WithFaultInjection.
+func RunWithoutFaults() RunOption {
+	return func(rs *runSettings) { rs.faults = nil }
+}
+
+// RunContext executes the application under the policy and returns the
+// report. Cancellation is honoured at every kernel-invocation boundary:
+// a canceled context stops the run before the next kernel launches and
+// returns the context's error. RunContext is safe for concurrent use on
+// one System — each call gets its own session, fault injector, and DAQ,
+// and the run's fault configuration is an immutable snapshot taken at
+// entry.
+func (s *System) RunContext(ctx context.Context, app *Application, p Policy, opts ...RunOption) (*Report, error) {
+	rs := runSettings{faults: s.faultConfig()}
+	for _, opt := range opts {
+		opt(&rs)
 	}
-	return sess.Run(app)
+	sess := &session.Session{Sim: s.Sim, Power: s.Power, Policy: p, Telemetry: s.telemetry}
+	if rs.faults != nil && rs.faults.Enabled() {
+		sess.Faults = faults.New(*rs.faults)
+	}
+	return sess.RunContext(ctx, app)
+}
+
+// Run executes the application under the policy and returns the report.
+// It is RunContext with a background context.
+func (s *System) Run(app *Application, p Policy) (*Report, error) {
+	return s.RunContext(context.Background(), app, p)
 }
 
 // HarmoniaNaive returns a Harmonia controller with the hardening layer
 // disabled: the un-armored Algorithm 1 loop, kept as the comparison
-// point of the robustness study.
+// point of the robustness study. Panics if lazy training fails;
+// HarmoniaNaiveE returns the error instead.
 func (s *System) HarmoniaNaive() *Controller {
 	return core.New(core.Options{
 		Predictor: s.Predictor(),
 		Robust:    core.RobustOptions{Disabled: true},
 	})
+}
+
+// HarmoniaNaiveE is HarmoniaNaive with the lazy-training error returned
+// rather than panicked.
+func (s *System) HarmoniaNaiveE() (*Controller, error) {
+	p, err := s.TrainedPredictor()
+	if err != nil {
+		return nil, err
+	}
+	return core.New(core.Options{
+		Predictor: p,
+		Robust:    core.RobustOptions{Disabled: true},
+	}), nil
 }
 
 // TrainPredictor trains sensitivity models on the given kernels using

@@ -141,4 +141,3 @@ func FuzzInjectorDeterminism(f *testing.F) {
 		}
 	})
 }
-

@@ -137,6 +137,41 @@ func WriteTraceCSV(w io.Writer, trace []daq.Sample) error {
 	return cw.Error()
 }
 
+// TraceSampleJSON is one serialized DAQ power sample.
+type TraceSampleJSON struct {
+	TimeS  float64 `json:"time_s"`
+	GPUW   float64 `json:"gpu_w"`
+	MemW   float64 `json:"mem_w"`
+	OtherW float64 `json:"other_w"`
+	CardW  float64 `json:"card_w"`
+}
+
+// Trace converts a DAQ power-sample stream to its serializable form.
+func Trace(trace []daq.Sample) []TraceSampleJSON {
+	out := make([]TraceSampleJSON, len(trace))
+	for i, s := range trace {
+		out[i] = TraceSampleJSON{
+			TimeS:  s.TimeS,
+			GPUW:   s.Rails.GPU,
+			MemW:   s.Rails.Mem,
+			OtherW: s.Rails.Other,
+			CardW:  s.Rails.Card(),
+		}
+	}
+	return out
+}
+
+// WriteTraceJSON writes the DAQ power-sample stream as indented JSON —
+// the HTTP-API counterpart of WriteTraceCSV.
+func WriteTraceJSON(w io.Writer, trace []daq.Sample) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(Trace(trace)); err != nil {
+		return fmt.Errorf("export: encode trace: %w", err)
+	}
+	return nil
+}
+
 // ResultsJSON is the serializable form of the Figures 10-13 evaluation.
 type ResultsJSON struct {
 	Apps    []AppResultJSON `json:"apps"`

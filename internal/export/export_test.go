@@ -88,6 +88,26 @@ func TestTraceCSV(t *testing.T) {
 	}
 }
 
+func TestTraceJSONMatchesCSV(t *testing.T) {
+	rep := sampleReport(t)
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, rep.Trace); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []TraceSampleJSON
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded) != len(rep.Trace) {
+		t.Fatalf("got %d samples, want %d", len(decoded), len(rep.Trace))
+	}
+	for i, s := range rep.Trace {
+		if decoded[i].TimeS != s.TimeS || decoded[i].CardW != s.Rails.Card() {
+			t.Fatalf("sample %d = %+v, want t=%v card=%v", i, decoded[i], s.TimeS, s.Rails.Card())
+		}
+	}
+}
+
 func TestResultsJSON(t *testing.T) {
 	// Build a small synthetic result set to avoid the full sweep.
 	rs := []experiments.AppResult{

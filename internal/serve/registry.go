@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"harmonia/internal/export"
+	"harmonia/internal/session"
+)
+
+// Run states. A run is queued on submission, running once a worker
+// picks it up, and done or failed when it finishes.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// Run is one evaluation request's lifecycle record. Fields are guarded
+// by mu; Done closes when the run reaches a terminal state.
+type Run struct {
+	ID string
+
+	mu         sync.Mutex
+	app        string
+	policy     string
+	status     string
+	err        string
+	createdAt  time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+	report     *session.Report
+
+	done chan struct{}
+}
+
+// newRun returns a queued run record.
+func newRun(id, app, policy string, now time.Time) *Run {
+	return &Run{
+		ID:        id,
+		app:       app,
+		policy:    policy,
+		status:    StatusQueued,
+		createdAt: now,
+		done:      make(chan struct{}),
+	}
+}
+
+// Done returns a channel closed when the run reaches a terminal state.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// start marks the run running.
+func (r *Run) start(now time.Time) {
+	r.mu.Lock()
+	r.status = StatusRunning
+	r.startedAt = now
+	r.mu.Unlock()
+}
+
+// finish records the outcome and releases waiters.
+func (r *Run) finish(rep *session.Report, err error, now time.Time) {
+	r.mu.Lock()
+	r.finishedAt = now
+	if err != nil {
+		r.status = StatusFailed
+		r.err = err.Error()
+	} else {
+		r.status = StatusDone
+		r.report = rep
+	}
+	r.mu.Unlock()
+	close(r.done)
+}
+
+// Report returns the finished run's report, or nil.
+func (r *Run) Report() *session.Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.report
+}
+
+// terminalSince reports whether the run finished at or before cutoff.
+func (r *Run) terminalSince(cutoff time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return (r.status == StatusDone || r.status == StatusFailed) &&
+		!r.finishedAt.After(cutoff)
+}
+
+// RunJSON is the wire form of a run record.
+type RunJSON struct {
+	ID         string             `json:"id"`
+	App        string             `json:"app"`
+	Policy     string             `json:"policy"`
+	Status     string             `json:"status"`
+	Error      string             `json:"error,omitempty"`
+	CreatedAt  time.Time          `json:"created_at"`
+	FinishedAt *time.Time         `json:"finished_at,omitempty"`
+	Report     *export.ReportJSON `json:"report,omitempty"`
+}
+
+// JSON snapshots the run for serialization. The trace is served
+// separately (GET /v1/runs/{id}/trace), not embedded.
+func (r *Run) JSON() RunJSON {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := RunJSON{
+		ID:        r.ID,
+		App:       r.app,
+		Policy:    r.policy,
+		Status:    r.status,
+		Error:     r.err,
+		CreatedAt: r.createdAt,
+	}
+	if !r.finishedAt.IsZero() {
+		t := r.finishedAt
+		out.FinishedAt = &t
+	}
+	if r.report != nil {
+		rep := export.Report(r.report)
+		out.Report = &rep
+	}
+	return out
+}
+
+// registry is the in-memory run store with TTL-based retention,
+// modelled on a production exporter's retention manager: finished runs
+// are kept for TTL so clients can poll results, then evicted; a hard
+// cap bounds memory under bursts (oldest finished runs go first;
+// in-flight runs are never evicted).
+type registry struct {
+	ttl time.Duration
+	max int
+	now func() time.Time
+	// onEvict, when non-nil, observes how many records each eviction
+	// pass dropped (feeds the retention counter on /metrics).
+	onEvict func(n int)
+
+	mu   sync.Mutex
+	runs map[string]*Run
+	seq  int
+}
+
+// newRegistry returns an empty registry. ttl <= 0 means keep forever
+// (until the cap); max <= 0 means unbounded.
+func newRegistry(ttl time.Duration, max int, now func() time.Time) *registry {
+	return &registry{ttl: ttl, max: max, now: now, runs: make(map[string]*Run)}
+}
+
+// create allocates a run record with a fresh sequential ID and stores
+// it, evicting expired runs first.
+func (g *registry) create(app, policy string) *Run {
+	now := g.now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.evictLocked(now)
+	g.seq++
+	run := newRun(fmt.Sprintf("run-%06d", g.seq), app, policy, now)
+	g.runs[run.ID] = run
+	return run
+}
+
+// get returns the run by ID.
+func (g *registry) get(id string) (*Run, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.evictLocked(g.now())
+	run, ok := g.runs[id]
+	return run, ok
+}
+
+// list returns every retained run, newest first.
+func (g *registry) list() []*Run {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.evictLocked(g.now())
+	out := make([]*Run, 0, len(g.runs))
+	for _, run := range g.runs {
+		out = append(out, run)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
+	return out
+}
+
+// size returns the number of retained runs.
+func (g *registry) size() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.runs)
+}
+
+// evictLocked drops finished runs older than TTL, then — if the store
+// still exceeds the cap — the oldest finished runs beyond it. Callers
+// hold g.mu.
+func (g *registry) evictLocked(now time.Time) {
+	before := len(g.runs)
+	if g.ttl > 0 {
+		cutoff := now.Add(-g.ttl)
+		for id, run := range g.runs {
+			if run.terminalSince(cutoff) {
+				delete(g.runs, id)
+			}
+		}
+	}
+	if g.max > 0 && len(g.runs) > g.max {
+		finished := make([]*Run, 0, len(g.runs))
+		for _, run := range g.runs {
+			if run.terminalSince(now) {
+				finished = append(finished, run)
+			}
+		}
+		sort.Slice(finished, func(i, j int) bool { return finished[i].ID < finished[j].ID })
+		for _, run := range finished {
+			if len(g.runs) <= g.max {
+				break
+			}
+			delete(g.runs, run.ID)
+		}
+	}
+	if n := before - len(g.runs); n > 0 && g.onEvict != nil {
+		g.onEvict(n)
+	}
+}

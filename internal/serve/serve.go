@@ -1,0 +1,562 @@
+// Package serve exposes a harmonia.System as a concurrent JSON-over-HTTP
+// evaluation service: POST /v1/runs executes an application of the suite
+// under a named policy (optionally with an injected fault profile) on a
+// bounded worker pool, GET /v1/runs/{id} and /v1/runs/{id}/trace return
+// the report and the 1 kHz power trace through internal/export, and
+// GET /metrics renders the shared telemetry registry in Prometheus text
+// format — the long-running-exporter shape GPU power tooling takes in
+// production. Served runs are bit-identical to System.Run with the same
+// inputs: the service adds scheduling and observation, never physics.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"harmonia"
+	"harmonia/internal/export"
+	"harmonia/internal/hw"
+	"harmonia/internal/telemetry"
+)
+
+// Options configures a Server. The zero value serves with sensible
+// defaults.
+type Options struct {
+	// Workers bounds the evaluation worker pool (the sweep-pool
+	// pattern: a fixed set of workers draining a job queue). Zero means
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds how many submitted runs may wait for a worker;
+	// zero means 4x workers. Submitters block (respecting their request
+	// context) when the queue is full.
+	QueueDepth int
+	// RunTTL is how long finished runs stay pollable before the
+	// registry evicts them; zero means 1 hour, negative keeps forever.
+	RunTTL time.Duration
+	// MaxRuns caps retained run records regardless of TTL (oldest
+	// finished first; in-flight runs are never evicted). Zero means
+	// 4096, negative is unbounded.
+	MaxRuns int
+	// Telemetry is the metrics registry /metrics renders. Nil uses the
+	// system's registry (harmonia.WithTelemetry) so run instrumentation
+	// and HTTP instrumentation land in one scrape, or a fresh registry
+	// if the system has none.
+	Telemetry *telemetry.Registry
+	// Logger receives one-line request summaries; nil uses log.Default.
+	Logger *log.Logger
+	// Now is the clock, injectable for retention tests; nil means
+	// time.Now.
+	Now func() time.Time
+}
+
+// Server is the HTTP evaluation service. Construct with New, mount
+// Handler, and Close when done.
+type Server struct {
+	sys *harmonia.System
+	reg *registry
+	tel *telemetry.Registry
+	log *log.Logger
+	now func() time.Time
+
+	mux     *http.ServeMux
+	handler http.Handler
+
+	jobs    chan *job
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	started time.Time
+
+	httpReqs *telemetry.CounterVec
+	httpDur  *telemetry.HistogramVec
+	inflight *telemetry.Gauge
+	retained *telemetry.Gauge
+	evicted  *telemetry.Counter
+}
+
+// job is one queued evaluation.
+type job struct {
+	ctx  context.Context
+	run  *Run
+	app  *harmonia.Application
+	pol  harmonia.Policy
+	opts []harmonia.RunOption
+}
+
+// New returns a server over the given system and starts its worker
+// pool.
+func New(sys *harmonia.System, opts Options) *Server {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = 4 * workers
+	}
+	ttl := opts.RunTTL
+	switch {
+	case ttl == 0:
+		ttl = time.Hour
+	case ttl < 0:
+		ttl = 0
+	}
+	maxRuns := opts.MaxRuns
+	switch {
+	case maxRuns == 0:
+		maxRuns = 4096
+	case maxRuns < 0:
+		maxRuns = 0
+	}
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = sys.Telemetry()
+	}
+	if tel == nil {
+		tel = telemetry.New()
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = log.Default()
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		sys:     sys,
+		reg:     newRegistry(ttl, maxRuns, now),
+		tel:     tel,
+		log:     logger,
+		now:     now,
+		jobs:    make(chan *job, depth),
+		baseCtx: ctx,
+		cancel:  cancel,
+		started: now(),
+		httpReqs: tel.CounterVec("harmonia_http_requests_total",
+			"HTTP requests served.", "method", "path", "code"),
+		httpDur: tel.HistogramVec("harmonia_http_request_duration_seconds",
+			"HTTP request latency in seconds.", telemetry.DefDurationBuckets, "path"),
+		inflight: tel.Gauge("harmonia_serve_inflight_runs",
+			"Runs queued or executing right now."),
+		retained: tel.Gauge("harmonia_serve_retained_runs",
+			"Finished and in-flight runs held in the registry."),
+		evicted: tel.Counter("harmonia_serve_evicted_runs_total",
+			"Run records evicted by TTL or capacity retention."),
+	}
+	s.reg.onEvict = func(n int) { s.evicted.Add(float64(n)) }
+	s.buildMux()
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the worker pool. In-flight runs are canceled through the
+// base context; jobs still queued are failed so no waiter hangs.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+	for {
+		select {
+		case j := <-s.jobs:
+			j.run.finish(nil, errors.New("server shut down before the run was scheduled"), s.now())
+			s.inflight.Add(-1)
+		default:
+			return
+		}
+	}
+}
+
+// Handler returns the service's HTTP handler (all routes, wrapped in
+// logging and metrics middleware).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// worker drains the job queue: the bounded-pool pattern of
+// internal/sweep, with runs instead of configurations.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-s.jobs:
+			s.execute(j)
+		}
+	}
+}
+
+// execute runs one job to a terminal state.
+func (s *Server) execute(j *job) {
+	j.run.start(s.now())
+	rep, err := s.sys.RunContext(j.ctx, j.app, j.pol, j.opts...)
+	j.run.finish(rep, err, s.now())
+	s.inflight.Add(-1)
+	s.retained.Set(float64(s.reg.size()))
+}
+
+// submit queues a job, blocking until a queue slot frees, the caller's
+// context cancels, or the server shuts down.
+func (s *Server) submit(ctx context.Context, j *job) error {
+	select {
+	case s.jobs <- j:
+		s.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.baseCtx.Done():
+		return errors.New("server shutting down")
+	}
+}
+
+// buildMux registers every route. Paths are passed twice — once as the
+// mux pattern, once as the bounded-cardinality metrics label.
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	route := func(pattern, label string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(label, h))
+	}
+	route("POST /v1/runs", "/v1/runs", s.handleCreateRun)
+	route("GET /v1/runs", "/v1/runs", s.handleListRuns)
+	route("GET /v1/runs/{id}", "/v1/runs/{id}", s.handleGetRun)
+	route("GET /v1/runs/{id}/trace", "/v1/runs/{id}/trace", s.handleGetTrace)
+	route("GET /v1/apps", "/v1/apps", s.handleApps)
+	route("GET /v1/configs", "/v1/configs", s.handleConfigs)
+	route("GET /healthz", "/healthz", s.handleHealthz)
+	route("GET /metrics", "/metrics", s.handleMetrics)
+	s.mux = mux
+	s.handler = s.logged(mux)
+}
+
+// statusWriter captures the response code for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// logged is the outermost middleware: one structured line per request
+// via the stdlib logger.
+func (s *Server) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		s.log.Printf("method=%s path=%s status=%d duration=%s",
+			r.Method, r.URL.Path, sw.code, time.Since(t0).Round(time.Microsecond))
+	})
+}
+
+// instrument wraps one route with request counting and latency
+// observation under its pattern label.
+func (s *Server) instrument(label string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		s.httpReqs.With(r.Method, label, fmt.Sprintf("%d", sw.code)).Inc()
+		s.httpDur.With(label).Observe(time.Since(t0).Seconds())
+	})
+}
+
+// writeJSON writes v as indented JSON with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // headers are gone; nothing to do
+}
+
+// errorJSON is the wire form of every error response.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// RunRequest is the body of POST /v1/runs.
+type RunRequest struct {
+	// App names a suite application, e.g. "Graph500" (GET /v1/apps
+	// lists them).
+	App string `json:"app"`
+	// Policy is one of harmonia, naive, cg-only, compute-only,
+	// baseline, powertune, oracle, fixed.
+	Policy string `json:"policy"`
+	// Config is the pinned configuration for policy "fixed", in
+	// CUs/cuMHz/memMHz form, e.g. "16/700/925".
+	Config string `json:"config,omitempty"`
+	// TDPWatts caps policy "powertune"; zero means the stock 250 W.
+	TDPWatts float64 `json:"tdp_watts,omitempty"`
+	// FaultIntensity > 0 runs under the canonical fault profile at that
+	// intensity (see harmonia.FaultProfile); FaultSeed seeds it.
+	FaultIntensity float64 `json:"fault_intensity,omitempty"`
+	FaultSeed      int64   `json:"fault_seed,omitempty"`
+	// Wait false turns the call asynchronous: respond 202 immediately
+	// and poll GET /v1/runs/{id}. Default (absent or true) blocks until
+	// the run finishes and returns the report inline.
+	Wait *bool `json:"wait,omitempty"`
+}
+
+// PolicyNames lists the policies POST /v1/runs accepts.
+func PolicyNames() []string {
+	return []string{"harmonia", "naive", "cg-only", "compute-only", "baseline", "powertune", "oracle", "fixed"}
+}
+
+// buildPolicy resolves a request's policy. A 4xx-worthy problem returns
+// (nil, msg, nil); an internal failure (predictor training) returns the
+// error.
+func (s *Server) buildPolicy(req *RunRequest, app *harmonia.Application) (harmonia.Policy, string, error) {
+	switch req.Policy {
+	case "harmonia":
+		p, err := s.sys.HarmoniaE()
+		return p, "", err
+	case "naive":
+		p, err := s.sys.HarmoniaNaiveE()
+		return p, "", err
+	case "cg-only":
+		p, err := s.sys.CGOnlyE()
+		return p, "", err
+	case "compute-only":
+		p, err := s.sys.ComputeDVFSOnlyE()
+		return p, "", err
+	case "baseline":
+		return s.sys.Baseline(), "", nil
+	case "powertune":
+		tdp := req.TDPWatts
+		if tdp == 0 {
+			tdp = 250
+		}
+		if tdp < 0 {
+			return nil, fmt.Sprintf("tdp_watts must be positive, got %g", tdp), nil
+		}
+		return s.sys.PowerTune(tdp), "", nil
+	case "oracle":
+		return s.sys.Oracle(app), "", nil
+	case "fixed":
+		if req.Config == "" {
+			return nil, `policy "fixed" needs "config", e.g. "16/700/925"`, nil
+		}
+		cfg, err := hw.ParseConfig(req.Config)
+		if err != nil {
+			return nil, err.Error(), nil
+		}
+		return s.sys.Fixed(cfg), "", nil
+	default:
+		return nil, fmt.Sprintf("unknown policy %q (want one of %s)",
+			req.Policy, strings.Join(PolicyNames(), ", ")), nil
+	}
+}
+
+// handleCreateRun is POST /v1/runs.
+func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req RunRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	app := harmonia.App(req.App)
+	if app == nil {
+		writeError(w, http.StatusBadRequest, "unknown app %q (GET /v1/apps lists the suite)", req.App)
+		return
+	}
+	if req.FaultIntensity < 0 || req.FaultIntensity > 1 {
+		writeError(w, http.StatusBadRequest, "fault_intensity must be in [0, 1], got %g", req.FaultIntensity)
+		return
+	}
+	pol, msg, err := s.buildPolicy(&req, app)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "building policy: %v", err)
+		return
+	}
+	if msg != "" {
+		writeError(w, http.StatusBadRequest, "%s", msg)
+		return
+	}
+	var opts []harmonia.RunOption
+	if req.FaultIntensity > 0 {
+		opts = append(opts, harmonia.RunWithFaults(harmonia.FaultProfile(req.FaultSeed, req.FaultIntensity)))
+	}
+	wait := req.Wait == nil || *req.Wait
+
+	run := s.reg.create(req.App, pol.Name())
+	s.retained.Set(float64(s.reg.size()))
+	jobCtx := s.baseCtx
+	if wait {
+		// A synchronous caller that disconnects cancels its run at the
+		// next kernel boundary; detached runs only stop at shutdown.
+		jobCtx = r.Context()
+	}
+	j := &job{ctx: jobCtx, run: run, app: app, pol: pol, opts: opts}
+	if err := s.submit(r.Context(), j); err != nil {
+		run.finish(nil, fmt.Errorf("never scheduled: %w", err), s.now())
+		writeError(w, http.StatusServiceUnavailable, "could not schedule run: %v", err)
+		return
+	}
+	if !wait {
+		writeJSON(w, http.StatusAccepted, run.JSON())
+		return
+	}
+	select {
+	case <-run.Done():
+	case <-r.Context().Done():
+		// The worker sees the same context and will mark the run
+		// failed — unless the server shuts down with the job still
+		// queued, in which case Close fails it.
+		select {
+		case <-run.Done():
+		case <-s.baseCtx.Done():
+			<-run.Done()
+		}
+	}
+	out := run.JSON()
+	status := http.StatusOK
+	if out.Status == StatusFailed {
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, out)
+}
+
+// handleListRuns is GET /v1/runs.
+func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	runs := s.reg.list()
+	out := struct {
+		Runs []RunJSON `json:"runs"`
+	}{Runs: make([]RunJSON, 0, len(runs))}
+	for _, run := range runs {
+		j := run.JSON()
+		j.Report = nil // the list is a summary; fetch /v1/runs/{id} for the report
+		out.Runs = append(out.Runs, j)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleGetRun is GET /v1/runs/{id}.
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q (expired or never created)", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, run.JSON())
+}
+
+// handleGetTrace is GET /v1/runs/{id}/trace: the 1 kHz power trace as
+// CSV (default) or JSON (?format=json), straight from internal/export.
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q (expired or never created)", r.PathValue("id"))
+		return
+	}
+	rep := run.Report()
+	if rep == nil {
+		writeError(w, http.StatusConflict, "run %s has no report (status %s)", run.ID, run.JSON().Status)
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		if err := export.WriteTraceCSV(w, rep.Trace); err != nil {
+			s.log.Printf("method=%s path=%s error=%q", r.Method, r.URL.Path, err)
+		}
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		if err := export.WriteTraceJSON(w, rep.Trace); err != nil {
+			s.log.Printf("method=%s path=%s error=%q", r.Method, r.URL.Path, err)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want csv or json)", r.URL.Query().Get("format"))
+	}
+}
+
+// AppJSON is one suite application in GET /v1/apps.
+type AppJSON struct {
+	Name       string   `json:"name"`
+	Iterations int      `json:"iterations"`
+	Kernels    []string `json:"kernels"`
+}
+
+// handleApps is GET /v1/apps.
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	suite := harmonia.Suite()
+	out := struct {
+		Apps []AppJSON `json:"apps"`
+	}{Apps: make([]AppJSON, 0, len(suite))}
+	for _, app := range suite {
+		out.Apps = append(out.Apps, AppJSON{
+			Name:       app.Name,
+			Iterations: app.Iterations,
+			Kernels:    app.KernelNames(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ConfigJSON is one hardware configuration in GET /v1/configs.
+type ConfigJSON struct {
+	CUs    int `json:"cus"`
+	CUMHz  int `json:"cu_mhz"`
+	MemMHz int `json:"mem_mhz"`
+}
+
+// handleConfigs is GET /v1/configs: the legal configuration space the
+// policies pick from.
+func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
+	space := harmonia.ConfigSpace()
+	out := struct {
+		Count    int          `json:"count"`
+		Policies []string     `json:"policies"`
+		Configs  []ConfigJSON `json:"configs"`
+	}{Count: len(space), Policies: PolicyNames(), Configs: make([]ConfigJSON, 0, len(space))}
+	for _, cfg := range space {
+		out.Configs = append(out.Configs, ConfigJSON{
+			CUs:    cfg.Compute.CUs,
+			CUMHz:  int(cfg.Compute.Freq),
+			MemMHz: int(cfg.Memory.BusFreq),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status       string  `json:"status"`
+		UptimeS      float64 `json:"uptime_s"`
+		RetainedRuns int     `json:"retained_runs"`
+	}{
+		Status:       "ok",
+		UptimeS:      s.now().Sub(s.started).Seconds(),
+		RetainedRuns: s.reg.size(),
+	})
+}
+
+// handleMetrics is GET /metrics in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.retained.Set(float64(s.reg.size()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.tel.WritePrometheus(w); err != nil {
+		s.log.Printf("method=%s path=%s error=%q", r.Method, r.URL.Path, err)
+	}
+}

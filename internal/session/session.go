@@ -7,6 +7,7 @@
 package session
 
 import (
+	"context"
 	"fmt"
 
 	"harmonia/internal/daq"
@@ -16,6 +17,7 @@ import (
 	"harmonia/internal/metrics"
 	"harmonia/internal/policy"
 	"harmonia/internal/power"
+	"harmonia/internal/telemetry"
 	"harmonia/internal/workloads"
 )
 
@@ -34,6 +36,53 @@ type Session struct {
 	// configuration actually run, exact time and energy). Injectors are
 	// stateful: use a fresh one per run.
 	Faults *faults.Injector
+	// Telemetry, when non-nil, receives run/kernel/ED² instrumentation
+	// (see the harmonia_* metric families below). Recording is pure
+	// observation: it never perturbs the simulated physics, so a run
+	// with telemetry is bit-identical to one without.
+	Telemetry *telemetry.Registry
+}
+
+// Telemetry metric families recorded by RunContext. The policy label is
+// the policy's Name(); its cardinality is bounded by the policies a
+// deployment actually serves.
+const (
+	MetricRunsStarted       = "harmonia_runs_started_total"
+	MetricRunsCompleted     = "harmonia_runs_completed_total"
+	MetricRunsFailed        = "harmonia_runs_failed_total"
+	MetricKernelInvocations = "harmonia_kernel_invocations_total"
+	MetricSimulatedSeconds  = "harmonia_simulated_seconds_total"
+	MetricRunED2            = "harmonia_run_ed2"
+)
+
+// ed2Buckets spans the suite's observed ED² range (~1e0 .. ~1e6 J·s²)
+// with two buckets per decade.
+var ed2Buckets = telemetry.ExponentialBuckets(1e-2, 10, 9)
+
+// instruments bundles the session's telemetry handles; the zero value
+// (nil registry) is a no-op.
+type instruments struct {
+	started, completed, failed *telemetry.Counter
+	kernels, simSeconds        *telemetry.Counter
+	ed2                        *telemetry.Histogram
+}
+
+// instrumentsFor resolves the per-policy instruments, or no-ops when no
+// registry is attached.
+func (s *Session) instrumentsFor() instruments {
+	if s.Telemetry == nil {
+		return instruments{}
+	}
+	pol := s.Policy.Name()
+	r := s.Telemetry
+	return instruments{
+		started:    r.CounterVec(MetricRunsStarted, "Application runs started.", "policy").With(pol),
+		completed:  r.CounterVec(MetricRunsCompleted, "Application runs completed.", "policy").With(pol),
+		failed:     r.CounterVec(MetricRunsFailed, "Application runs failed or canceled.", "policy").With(pol),
+		kernels:    r.CounterVec(MetricKernelInvocations, "Kernel invocations simulated.", "policy").With(pol),
+		simSeconds: r.CounterVec(MetricSimulatedSeconds, "Simulated GPU execution seconds.", "policy").With(pol),
+		ed2:        r.HistogramVec(MetricRunED2, "Per-run energy-delay-squared product (J*s^2).", ed2Buckets, "policy").With(pol),
+	}
 }
 
 // New returns a session with default simulator and power model.
@@ -72,9 +121,26 @@ type Report struct {
 }
 
 // Run executes the application to completion and returns the report.
+// It is RunContext with a background context.
 func (s *Session) Run(app *workloads.Application) (*Report, error) {
+	return s.RunContext(context.Background(), app)
+}
+
+// RunContext executes the application to completion and returns the
+// report. Cancellation is checked at every kernel-invocation boundary —
+// the same granularity at which the policy is consulted — so a canceled
+// context stops the run before the next kernel launches and returns the
+// context's error (no partial report).
+func (s *Session) RunContext(ctx context.Context, app *workloads.Application) (*Report, error) {
+	ins := s.instrumentsFor()
 	if err := app.Validate(); err != nil {
+		if ins.failed != nil {
+			ins.failed.Inc()
+		}
 		return nil, err
+	}
+	if ins.started != nil {
+		ins.started.Inc()
 	}
 	rec := daq.New(s.DAQRateHz)
 	if s.Faults != nil {
@@ -83,8 +149,18 @@ func (s *Session) Run(app *workloads.Application) (*Report, error) {
 	rep := &Report{App: app.Name, Policy: s.Policy.Name()}
 	for iter := 0; iter < app.Iterations; iter++ {
 		for _, k := range app.Kernels {
+			if err := ctx.Err(); err != nil {
+				if ins.failed != nil {
+					ins.failed.Inc()
+				}
+				return nil, fmt.Errorf("session: run of %s canceled at %s iter %d: %w",
+					app.Name, k.Name, iter, err)
+			}
 			cfg := s.Policy.Decide(k.Name, iter)
 			if !cfg.Valid() {
+				if ins.failed != nil {
+					ins.failed.Inc()
+				}
 				return nil, fmt.Errorf("session: policy %s returned invalid config %v for %s",
 					s.Policy.Name(), cfg, k.Name)
 			}
@@ -107,10 +183,18 @@ func (s *Session) Run(app *workloads.Application) (*Report, error) {
 			rep.Runs = append(rep.Runs, KernelRun{
 				Kernel: k.Name, Iter: iter, Config: actual, Commanded: cfg, Result: res, Rails: rails,
 			})
+			if ins.kernels != nil {
+				ins.kernels.Inc()
+				ins.simSeconds.Add(res.Time)
+			}
 		}
 	}
 	rep.Energy = rec.Energy()
 	rep.Trace = rec.Samples()
+	if ins.completed != nil {
+		ins.completed.Inc()
+		ins.ed2.Observe(rep.ED2())
+	}
 	return rep, nil
 }
 

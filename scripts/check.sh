@@ -1,7 +1,15 @@
 #!/bin/sh
-# Pre-commit gate: build, vet, race-detector test run.
+# Pre-commit gate: formatting, build, vet, race-detector test run, and a
+# focused race pass over the concurrent service layer.
 set -eux
 cd "$(dirname "$0")/.."
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 go build ./...
 go vet ./...
 go test -race ./...
+go test -race -count=1 ./internal/serve/... ./internal/telemetry/...

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz serve fmt-check
+.PHONY: check build vet test race bench fuzz serve fmt-check
 
 # The full pre-commit gate: formatting, build, vet, and the test suite
 # under the race detector.
@@ -23,6 +23,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Infrastructure benchmarks: memoized oracle sweep vs uncached, and the
+# suite under the serial vs parallel batch pool. Emits BENCH_sweep.json
+# and fails if the cached sweep speedup drops below 5x.
+bench:
+	sh scripts/bench.sh
 
 # Run the HTTP evaluation service on :8792 (see cmd/harmonia-serve).
 serve:

@@ -12,6 +12,10 @@ import (
 	"testing"
 
 	"harmonia/internal/experiments"
+	"harmonia/internal/gpusim"
+	"harmonia/internal/oracle"
+	"harmonia/internal/power"
+	"harmonia/internal/simcache"
 )
 
 // The experiment environment is shared across benchmarks: predictor
@@ -402,3 +406,59 @@ func BenchmarkOracleExhaustiveSearch(b *testing.B) {
 		}
 	}
 }
+
+// --- Simulation memo and batch engine (DESIGN.md section 9) ---------------
+//
+// The remaining benchmarks quantify the tentpole infrastructure rather
+// than a paper figure: how much a warm simulation memo accelerates the
+// oracle's exhaustive sweep, and what the bounded worker pool buys the
+// five-policy suite. scripts/bench.sh runs them and records the headline
+// ratios in BENCH_sweep.json.
+
+// oracleSweep builds a fresh Oracle (so its per-kernel decision cache
+// cannot hide the sweep) and decides every kernel of the app, forcing a
+// full exhaustive search over hw.ConfigSpace per kernel.
+func oracleSweep(b *testing.B, sim gpusim.Runner) {
+	b.Helper()
+	app := App("LUD")
+	o := oracle.New(sim, power.Default(), app)
+	for _, k := range app.Kernels {
+		o.Decide(k.Name, 0)
+	}
+}
+
+func BenchmarkOracleSweepUncached(b *testing.B) {
+	sim := gpusim.Default()
+	for i := 0; i < b.N; i++ {
+		oracleSweep(b, sim)
+	}
+}
+
+func BenchmarkOracleSweepCached(b *testing.B) {
+	// One memo shared across iterations: the first sweep populates it,
+	// every later sweep answers from cache — the steady state a served
+	// deployment reaches after its first oracle run.
+	runner := simcache.For(gpusim.Default(), simcache.New())
+	oracleSweep(b, runner) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracleSweep(b, runner)
+	}
+}
+
+// benchSuite evaluates the full five-policy suite from scratch with the
+// given worker bound. Each iteration builds a fresh environment (fresh
+// memo, fresh predictor) so serial and parallel runs do identical work.
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		e := experiments.NewEnv()
+		e.Workers = workers
+		if _, err := e.Results(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuiteSerial(b *testing.B)   { benchSuite(b, 1) }
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0) }

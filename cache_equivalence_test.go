@@ -1,0 +1,179 @@
+package harmonia
+
+// Equivalence gates for the simulation memo and the batch engine: a
+// cached run must be bit-for-bit the run the paper's methodology
+// produces uncached, and a parallel suite must be bit-for-bit the
+// serial suite. Comparisons go through encoding/json (which round-trips
+// float64 exactly) or direct float64-bits checks — no tolerances.
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"harmonia/internal/experiments"
+)
+
+// runPair executes the same (app, policy-name) run on a cached and an
+// uncached System and returns both reports.
+func runPair(t *testing.T, appName string, mk func(*System) Policy) (cached, uncached *Report) {
+	t.Helper()
+	plain := NewSystem()
+	memo := NewSystem(WithSimCache())
+	var err error
+	uncached, err = plain.Run(App(appName), mk(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run twice through the memo: the second pass answers from cache.
+	if _, err = memo.Run(App(appName), mk(memo)); err != nil {
+		t.Fatal(err)
+	}
+	cached, err = memo.Run(App(appName), mk(memo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := memo.SimCacheStats(); hits == 0 {
+		t.Fatalf("%s: second cached run recorded no cache hits", appName)
+	}
+	return cached, uncached
+}
+
+// TestCachedRunBitIdentical is the tentpole acceptance gate: reports
+// produced through the simulation memo are bit-for-bit the reports the
+// raw simulator produces — across policies, including the oracle (whose
+// sweeps run entirely through the cache) and a phase-varying app.
+func TestCachedRunBitIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		app  string
+		mk   func(*System) Policy
+	}{
+		{"baseline/SRAD", "SRAD", func(s *System) Policy { return s.Baseline() }},
+		{"harmonia/Graph500", "Graph500", func(s *System) Policy { return s.Harmonia() }},
+		{"oracle/LUD", "LUD", func(s *System) Policy { return s.Oracle(App("LUD")) }},
+		{"powertune/Sort", "Sort", func(s *System) Policy { return s.PowerTune(150) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cached, uncached := runPair(t, tc.app, tc.mk)
+			if !reflect.DeepEqual(cached, uncached) {
+				t.Fatalf("cached report differs from uncached (DeepEqual)")
+			}
+			var cb, ub bytes.Buffer
+			if err := WriteReportJSON(&cb, cached); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteReportJSON(&ub, uncached); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(cb.Bytes(), ub.Bytes()) {
+				t.Fatalf("cached report JSON differs from uncached")
+			}
+		})
+	}
+}
+
+// TestFaultedRunBypassesCache: fault-injected runs must never touch the
+// memo — neither reading stale entries nor polluting it — and must
+// replay identically on cached and uncached systems.
+func TestFaultedRunBypassesCache(t *testing.T) {
+	fc := FaultProfile(42, 0.5)
+	memo := NewSystem(WithSimCache())
+	plain := NewSystem()
+
+	// Warm the memo with a clean run first, so a bypass bug that reads
+	// cached clean results would have something to read.
+	if _, err := memo.Run(App("SRAD"), memo.Baseline()); err != nil {
+		t.Fatal(err)
+	}
+	hits0, misses0 := memo.SimCacheStats()
+
+	cachedRep, err := memo.RunContext(context.Background(), App("SRAD"), memo.Baseline(), RunWithFaults(fc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := memo.SimCacheStats(); hits != hits0 || misses != misses0 {
+		t.Fatalf("faulted run touched the cache: hits %d->%d misses %d->%d",
+			hits0, hits, misses0, misses)
+	}
+	plainRep, err := plain.RunContext(context.Background(), App("SRAD"), plain.Baseline(), RunWithFaults(fc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(cachedRep.ED2()) != math.Float64bits(plainRep.ED2()) ||
+		math.Float64bits(cachedRep.TotalTime()) != math.Float64bits(plainRep.TotalTime()) {
+		t.Fatal("faulted run differs between cached and uncached systems")
+	}
+}
+
+// TestSerialParallelSuiteBitIdentical: the experiments suite fanned out
+// on the batch pool must reproduce the serial suite exactly, worker
+// count notwithstanding.
+func TestSerialParallelSuiteBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full suite evaluations")
+	}
+	serial := experiments.NewEnv()
+	serial.Workers = 1
+	parallel := experiments.NewEnv()
+	parallel.Workers = 8
+
+	sr, err := serial.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := parallel.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sr, pr) {
+		t.Fatal("parallel suite results differ from serial")
+	}
+
+	// The robustness study exercises per-job fault injectors and the
+	// cache-bypass path; it must be worker-count-invariant too.
+	rs, err := experiments.Robustness(serial, 42, []float64{0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := experiments.Robustness(parallel, 42, []float64{0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs, rp) {
+		t.Fatal("parallel robustness study differs from serial")
+	}
+}
+
+// TestLabSharesSystemCache: Lab() threads the System's memo through the
+// experiments environment, so suite studies reuse what runs already
+// simulated.
+func TestLabSharesSystemCache(t *testing.T) {
+	sys := NewSystem(WithSimCache())
+	if _, err := sys.Run(App("SRAD"), sys.Baseline()); err != nil {
+		t.Fatal(err)
+	}
+	_, misses0 := sys.SimCacheStats()
+	lab := sys.Lab()
+	if lab.Cache == nil {
+		t.Fatal("Lab() dropped the System's cache")
+	}
+	// A lab session over the same app re-simulates nothing new at the
+	// baseline configuration.
+	res, err := experiments.ComputeOnlyStudy(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	hits, _ := sys.SimCacheStats()
+	if hits == 0 {
+		t.Error("lab study never hit the shared cache")
+	}
+	_, misses1 := sys.SimCacheStats()
+	if misses1 < misses0 {
+		t.Error("miss counter went backwards")
+	}
+}

@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	harmonia-serve [-addr :8792] [-workers N] [-run-ttl 1h] [-max-runs 4096] [-pretrain]
+//	harmonia-serve [-addr :8792] [-workers N] [-run-ttl 1h] [-max-runs 4096] [-pretrain] [-simcache]
 //
 // Endpoints:
 //
 //	POST /v1/runs            execute an app under a policy (JSON body)
 //	GET  /v1/runs            list retained runs
+//	POST /v1/batch           execute an app x policy matrix, aggregated
+//	GET  /v1/batch/{id}      one batch's aggregate and per-cell status
 //	GET  /v1/runs/{id}       one run's report
 //	GET  /v1/runs/{id}/trace the 1 kHz power trace (CSV; ?format=json)
 //	GET  /v1/apps            the 14-application evaluation suite
@@ -45,13 +47,18 @@ func main() {
 		runTTL   = flag.Duration("run-ttl", time.Hour, "how long finished runs stay pollable (negative = forever)")
 		maxRuns  = flag.Int("max-runs", 4096, "cap on retained run records (negative = unbounded)")
 		pretrain = flag.Bool("pretrain", true, "train the sensitivity predictor at startup instead of on the first harmonia request")
+		simcache = flag.Bool("simcache", true, "memoize simulation results across served runs (bit-identical; fault-injected runs always bypass it)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "harmonia-serve ", log.LstdFlags|log.LUTC)
 
 	reg := harmonia.NewTelemetry()
-	sys := harmonia.NewSystem(harmonia.WithTelemetry(reg))
+	sysOpts := []harmonia.Option{harmonia.WithTelemetry(reg)}
+	if *simcache {
+		sysOpts = append(sysOpts, harmonia.WithSimCache())
+	}
+	sys := harmonia.NewSystem(sysOpts...)
 	if *pretrain {
 		t0 := time.Now()
 		if _, err := sys.TrainedPredictor(); err != nil {

@@ -5,11 +5,12 @@
 //
 // Usage:
 //
-//	harmonia-sweep -kernel LUD.Internal [-curves]
+//	harmonia-sweep -kernel LUD.Internal [-curves] [-workers N] [-cache=false]
 //	harmonia-sweep -faults [-fault-seed 42] [-fault-intensities 0,0.25,0.5,1]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"harmonia"
+	"harmonia/internal/batch"
 	"harmonia/internal/experiments"
 	"harmonia/internal/hw"
 	"harmonia/internal/metrics"
@@ -28,6 +30,8 @@ func main() {
 		kernelName  = flag.String("kernel", "LUD.Internal", "kernel to sweep (App.Kernel)")
 		curves      = flag.Bool("curves", false, "print every balance-curve point")
 		list        = flag.Bool("list", false, "list available kernels and exit")
+		workers     = flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial; results are identical either way)")
+		useCache    = flag.Bool("cache", true, "memoize simulation results across sweeps (bit-identical; -cache=false re-simulates everything)")
 		faultsSweep = flag.Bool("faults", false, "run the fault-injection robustness study instead of a kernel sweep")
 		faultSeed   = flag.Int64("fault-seed", 42, "fault-injection seed for -faults")
 		intensities = flag.String("fault-intensities", "", "comma-separated fault intensities for -faults (default 0,0.25,0.5,1)")
@@ -46,7 +50,12 @@ func main() {
 				grid = append(grid, v)
 			}
 		}
-		res, err := experiments.Robustness(experiments.NewEnv(), *faultSeed, grid)
+		env := experiments.NewEnv()
+		env.Workers = *workers
+		if !*useCache {
+			env.Cache = nil
+		}
+		res, err := experiments.Robustness(env, *faultSeed, grid)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "harmonia-sweep: %v\n", err)
 			os.Exit(1)
@@ -74,8 +83,13 @@ func main() {
 		os.Exit(1)
 	}
 
-	sys := harmonia.NewSystem()
+	var sysOpts []harmonia.Option
+	if *useCache {
+		sysOpts = append(sysOpts, harmonia.WithSimCache())
+	}
+	sys := harmonia.NewSystem(sysOpts...)
 	lab := sys.Lab()
+	lab.Workers = *workers
 
 	fig3 := experiments.Fig3BalanceCurves(lab, *kernelName)
 	fmt.Println(fig3)
@@ -104,14 +118,23 @@ func main() {
 	for i := range objectives {
 		objectives[i].val = -1
 	}
-	for _, cfg := range hw.ConfigSpace() {
-		r := sys.Sim.Run(kernel, 0, cfg)
-		rails := sys.Power.Rails(cfg, power.Activity{
-			VALUBusyFrac:    r.Counters.VALUBusy / 100,
-			MemUnitBusyFrac: r.Counters.MemUnitBusy / 100,
-			AchievedGBs:     r.AchievedGBs,
+	// Evaluate every configuration on the batch pool (input-order
+	// results, so the winner scan below is deterministic regardless of
+	// worker count), through the Lab's simulation memo when -cache is on.
+	space := hw.ConfigSpace()
+	runner := lab.Runner()
+	samples, _ := batch.Map(context.Background(), *workers, space,
+		func(_ context.Context, _ int, cfg harmonia.Config) (metrics.Sample, error) {
+			r := runner.Run(kernel, 0, cfg)
+			rails := sys.Power.Rails(cfg, power.Activity{
+				VALUBusyFrac:    r.Counters.VALUBusy / 100,
+				MemUnitBusyFrac: r.Counters.MemUnitBusy / 100,
+				AchievedGBs:     r.AchievedGBs,
+			})
+			return metrics.Sample{Seconds: r.Time, Watts: rails.Card()}, nil
 		})
-		s := metrics.Sample{Seconds: r.Time, Watts: rails.Card()}
+	for ci, cfg := range space {
+		s := samples[ci]
 		for i := range objectives {
 			v := objectives[i].metric(s)
 			if objectives[i].val < 0 || v < objectives[i].val {

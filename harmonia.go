@@ -46,6 +46,7 @@ import (
 	"harmonia/internal/policy"
 	"harmonia/internal/sensitivity"
 	"harmonia/internal/session"
+	"harmonia/internal/simcache"
 	"harmonia/internal/telemetry"
 	"harmonia/internal/workloads"
 
@@ -164,6 +165,12 @@ type System struct {
 	faults   *faults.Config
 
 	telemetry *telemetry.Registry
+
+	// cache, when non-nil (WithSimCache), memoizes simulation results
+	// across runs, oracle sweeps, and predictor training. The simulator
+	// is pure, so cached results are bit-identical to uncached ones.
+	// Fault-injected runs always bypass it and hit the raw simulator.
+	cache *simcache.Cache
 }
 
 // Option configures a System at construction (the v2 construction
@@ -193,6 +200,17 @@ func WithTelemetry(t *Telemetry) Option {
 	return func(s *System) { s.telemetry = t }
 }
 
+// WithSimCache installs a shared simulation memo: every run, oracle
+// sweep, and predictor-training sweep on the System reuses previously
+// simulated (kernel, iteration, configuration) results instead of
+// re-simulating them. Because the timing simulator is a pure function
+// of its inputs, cached runs are bit-identical to uncached ones.
+// Fault-injected runs bypass the cache entirely — the injected path
+// always exercises the raw platform.
+func WithSimCache() Option {
+	return func(s *System) { s.cache = simcache.New() }
+}
+
 // NewSystem returns a System with the default calibrated platform,
 // adjusted by the given options:
 //
@@ -215,6 +233,21 @@ func NewTelemetry() *Telemetry { return telemetry.New() }
 
 // Telemetry returns the registry attached with WithTelemetry, or nil.
 func (s *System) Telemetry() *Telemetry { return s.telemetry }
+
+// runner returns the simulator as runs and sweeps consume it: memoized
+// through the WithSimCache memo when one is installed, raw otherwise.
+func (s *System) runner() gpusim.Runner {
+	return simcache.For(s.Sim, s.cache)
+}
+
+// SimCacheStats reports the WithSimCache memo's cumulative hit and miss
+// counts (both zero when no cache is installed).
+func (s *System) SimCacheStats() (hits, misses uint64) {
+	if s.cache == nil {
+		return 0, 0
+	}
+	return s.cache.Stats()
+}
 
 // TrainedPredictor returns the system's sensitivity predictor, training
 // it on the standard workload suite on first use (an exhaustive sweep
@@ -368,7 +401,7 @@ func (s *System) Fixed(cfg Config) Policy { return policy.NewFixed(cfg) }
 // the given applications (impractical on real hardware; the paper's
 // comparison upper bound).
 func (s *System) Oracle(apps ...*Application) Policy {
-	return oracle.New(s.Sim, s.Power, apps...)
+	return oracle.New(s.runner(), s.Power, apps...)
 }
 
 // WithFaults arms the platform fault-injection layer: every subsequent
@@ -453,9 +486,12 @@ func (s *System) RunContext(ctx context.Context, app *Application, p Policy, opt
 	for _, opt := range opts {
 		opt(&rs)
 	}
-	sess := &session.Session{Sim: s.Sim, Power: s.Power, Policy: p, Telemetry: s.telemetry}
+	sess := &session.Session{Sim: s.runner(), Power: s.Power, Policy: p, Telemetry: s.telemetry}
 	if rs.faults != nil && rs.faults.Enabled() {
 		sess.Faults = faults.New(*rs.faults)
+		// Fault-injected runs bypass the simulation memo: the injected
+		// path always exercises the raw platform.
+		sess.Sim = s.Sim
 	}
 	return sess.RunContext(ctx, app)
 }
@@ -494,13 +530,14 @@ func (s *System) HarmoniaNaiveE() (*Controller, error) {
 // this system's simulator (Section 4's methodology). Use it to extend the
 // predictor to custom workloads.
 func (s *System) TrainPredictor(kernels []*Kernel) (*Predictor, error) {
-	return sensitivity.Train(sensitivity.BuildConfigTrainingSet(s.Sim, kernels))
+	return sensitivity.Train(sensitivity.BuildConfigTrainingSet(s.runner(), kernels))
 }
 
-// Lab returns an experiments environment sharing this system's models,
-// for regenerating the paper's tables and figures.
+// Lab returns an experiments environment sharing this system's models
+// (and its WithSimCache memo, when installed), for regenerating the
+// paper's tables and figures.
 func (s *System) Lab() *Lab {
-	return &experiments.Env{Sim: s.Sim, Power: s.Power}
+	return &experiments.Env{Sim: s.Sim, Power: s.Power, Cache: s.cache}
 }
 
 // Suite returns the paper's 14-application evaluation suite.

@@ -1,0 +1,119 @@
+// Package batch is a deterministic bounded-worker runner over job
+// matrices. It generalizes internal/sweep's worker pool from "score one
+// hardware configuration" to arbitrary (job → result, error) functions:
+// a fixed set of workers drains an index queue, results are assembled in
+// input order, and the first error — by input order, not completion
+// order — is the one returned. Parallel and serial execution therefore
+// produce identical outputs for pure job functions, which is what lets
+// the experiments suite fan out across applications without perturbing
+// the paper's numbers.
+package batch
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Workers clamps a requested worker count against the job count: zero or
+// negative means GOMAXPROCS, and the pool never exceeds n jobs.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Map runs fn over every job on a pool of the given size and returns the
+// results in input order. fn receives the job's input index alongside
+// its value so jobs can be labelled without closing over loop variables.
+//
+// Error semantics are deterministic: every job that starts runs to
+// completion, and if any jobs fail, the job error with the earliest
+// input index is returned (results of successful jobs are still
+// populated). After the first observed failure the context passed to
+// still-unstarted jobs is canceled, so long matrices stop promptly; fn
+// implementations that honour ctx can also abort mid-job.
+//
+// A canceled parent context stops unstarted jobs and returns ctx.Err()
+// unless an earlier job error takes precedence by input order.
+func Map[J, R any](ctx context.Context, workers int, jobs []J, fn func(ctx context.Context, i int, job J) (R, error)) ([]R, error) {
+	out := make([]R, len(jobs))
+	if len(jobs) == 0 {
+		return out, ctx.Err()
+	}
+	errs := make([]error, len(jobs))
+	workers = Workers(workers, len(jobs))
+
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	if workers == 1 {
+		for i := range jobs {
+			if err := jobCtx.Err(); err != nil {
+				errs[i] = err
+				break
+			}
+			out[i], errs[i] = fn(jobCtx, i, jobs[i])
+			if errs[i] != nil {
+				cancel()
+			}
+		}
+		return out, firstError(errs)
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := jobCtx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				out[i], errs[i] = fn(jobCtx, i, jobs[i])
+				if errs[i] != nil {
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out, firstError(errs)
+}
+
+// firstError returns the earliest job error by input order. Context
+// cancellations recorded for jobs that were skipped after another job
+// failed are artifacts, not causes, so a real job error at any index
+// takes precedence over an earlier cancellation; pure cancellation (the
+// parent context died with no job failing) surfaces as the earliest
+// recorded ctx error.
+func firstError(errs []error) error {
+	var cancellation error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cancellation == nil {
+				cancellation = err
+			}
+			continue
+		}
+		return err
+	}
+	return cancellation
+}

@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"harmonia/internal/batch"
 	"harmonia/internal/core"
-	"harmonia/internal/gpusim"
 	"harmonia/internal/metrics"
 	"harmonia/internal/oracle"
 	"harmonia/internal/policy"
@@ -19,6 +20,10 @@ import (
 // ED-vs-ED² objective remark, Section 3.4; TDP-constrained operation,
 // Section 1) and the sensitivity of the controller to its own knobs
 // (dithering budget, deadband).
+//
+// Every study fans its per-application measurements out on the Env's
+// batch pool (Env.Workers; results in suite order), so the studies
+// parallelize without changing any number.
 
 // ---------------------------------------------------------------------
 // Memory voltage scaling what-if.
@@ -46,32 +51,46 @@ func MemVoltageScalingStudy(e *Env) (MemVoltageResult, error) {
 	scaledParams.MemVoltageScaling = true
 	scaled := power.New(scaledParams)
 
+	type appRatios struct {
+		cardFixed, memFixed, cardScaled, memScaled float64
+	}
 	var res MemVoltageResult
+	perApp, err := batch.Map(context.Background(), e.Workers, workloads.Suite(),
+		func(_ context.Context, _ int, app *workloads.Application) (appRatios, error) {
+			var r appRatios
+			for _, variant := range []struct {
+				pm   *power.Model
+				card *float64
+				mem  *float64
+			}{
+				{e.Power, &r.cardFixed, &r.memFixed},
+				{scaled, &r.cardScaled, &r.memScaled},
+			} {
+				base, err := (&session.Session{Sim: e.Runner(), Power: variant.pm, Policy: policy.NewBaseline()}).
+					Run(workloads.ByName(app.Name))
+				if err != nil {
+					return r, err
+				}
+				hm, err := (&session.Session{Sim: e.Runner(), Power: variant.pm,
+					Policy: core.New(core.Options{Predictor: e.Predictor()})}).
+					Run(workloads.ByName(app.Name))
+				if err != nil {
+					return r, err
+				}
+				*variant.card = hm.AveragePower() / base.AveragePower()
+				*variant.mem = (hm.Energy.Mem / hm.TotalTime()) / (base.Energy.Mem / base.TotalTime())
+			}
+			return r, nil
+		})
+	if err != nil {
+		return res, err
+	}
 	var cardFixed, cardScaled, memFixed, memScaled []float64
-	for _, app := range workloads.Suite() {
-		for _, variant := range []struct {
-			pm   *power.Model
-			card *[]float64
-			mem  *[]float64
-		}{
-			{e.Power, &cardFixed, &memFixed},
-			{scaled, &cardScaled, &memScaled},
-		} {
-			base, err := (&session.Session{Sim: e.Sim, Power: variant.pm, Policy: policy.NewBaseline()}).
-				Run(workloads.ByName(app.Name))
-			if err != nil {
-				return res, err
-			}
-			hm, err := (&session.Session{Sim: e.Sim, Power: variant.pm,
-				Policy: core.New(core.Options{Predictor: e.Predictor()})}).
-				Run(workloads.ByName(app.Name))
-			if err != nil {
-				return res, err
-			}
-			*variant.card = append(*variant.card, hm.AveragePower()/base.AveragePower())
-			*variant.mem = append(*variant.mem,
-				(hm.Energy.Mem/hm.TotalTime())/(base.Energy.Mem/base.TotalTime()))
-		}
+	for _, r := range perApp {
+		cardFixed = append(cardFixed, r.cardFixed)
+		cardScaled = append(cardScaled, r.cardScaled)
+		memFixed = append(memFixed, r.memFixed)
+		memScaled = append(memScaled, r.memScaled)
 	}
 	res.FixedRail = metrics.GeoMeanImprovement(cardFixed)
 	res.ScaledRail = metrics.GeoMeanImprovement(cardScaled)
@@ -116,20 +135,31 @@ func ObjectiveStudy(e *Env) (ObjectiveResult, error) {
 		{oracle.MinED, &res.EDGain, &res.EDSlowdown, func(s metrics.Sample) float64 { return s.ED() }},
 		{oracle.MinEnergy, &res.EnergyGain, &res.EnergySlowdown, func(s metrics.Sample) float64 { return s.Energy() }},
 	}
+	type appPoint struct{ ratio, slow float64 }
 	for _, sl := range slots {
+		perApp, err := batch.Map(context.Background(), e.Workers, workloads.Suite(),
+			func(_ context.Context, _ int, app *workloads.Application) (appPoint, error) {
+				base, err := e.session(policy.NewBaseline()).Run(workloads.ByName(app.Name))
+				if err != nil {
+					return appPoint{}, err
+				}
+				fresh := workloads.ByName(app.Name)
+				or, err := e.session(oracle.NewFor(sl.obj, e.Runner(), e.Power, fresh)).Run(fresh)
+				if err != nil {
+					return appPoint{}, err
+				}
+				return appPoint{
+					ratio: sl.of(or.Sample()) / sl.of(base.Sample()),
+					slow:  or.TotalTime() / base.TotalTime(),
+				}, nil
+			})
+		if err != nil {
+			return res, err
+		}
 		var ratios, slows []float64
-		for _, app := range workloads.Suite() {
-			base, err := e.session(policy.NewBaseline()).Run(workloads.ByName(app.Name))
-			if err != nil {
-				return res, err
-			}
-			fresh := workloads.ByName(app.Name)
-			or, err := e.session(oracle.NewFor(sl.obj, e.Sim, e.Power, fresh)).Run(fresh)
-			if err != nil {
-				return res, err
-			}
-			ratios = append(ratios, sl.of(or.Sample())/sl.of(base.Sample()))
-			slows = append(slows, or.TotalTime()/base.TotalTime())
+		for _, p := range perApp {
+			ratios = append(ratios, p.ratio)
+			slows = append(slows, p.slow)
 		}
 		*sl.gain = metrics.GeoMeanImprovement(ratios)
 		*sl.slow = metrics.GeoMean(slows) - 1
@@ -164,23 +194,31 @@ type TDPRow struct {
 // TDPStudy sweeps board power caps through the stock PowerTune manager,
 // demonstrating the fixed-envelope regime of the paper's introduction.
 func TDPStudy(e *Env, caps []float64) ([]TDPRow, error) {
+	type appPoint struct{ slow, power float64 }
 	var rows []TDPRow
 	for _, cap := range caps {
+		perApp, err := batch.Map(context.Background(), e.Workers, workloads.Suite(),
+			func(_ context.Context, _ int, app *workloads.Application) (appPoint, error) {
+				base, err := e.session(policy.NewBaseline()).Run(workloads.ByName(app.Name))
+				if err != nil {
+					return appPoint{}, err
+				}
+				fresh := workloads.ByName(app.Name)
+				pt, err := e.session(policy.NewPowerTuneWithTDP(e.Power, cap)).Run(fresh)
+				if err != nil {
+					return appPoint{}, err
+				}
+				return appPoint{slow: pt.TotalTime() / base.TotalTime(), power: pt.AveragePower()}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		var slows []float64
 		peak := 0.0
-		for _, app := range workloads.Suite() {
-			base, err := e.session(policy.NewBaseline()).Run(workloads.ByName(app.Name))
-			if err != nil {
-				return nil, err
-			}
-			fresh := workloads.ByName(app.Name)
-			pt, err := e.session(policy.NewPowerTuneWithTDP(e.Power, cap)).Run(fresh)
-			if err != nil {
-				return nil, err
-			}
-			slows = append(slows, pt.TotalTime()/base.TotalTime())
-			if p := pt.AveragePower(); p > peak {
-				peak = p
+		for _, p := range perApp {
+			slows = append(slows, p.slow)
+			if p.power > peak {
+				peak = p.power
 			}
 		}
 		rows = append(rows, TDPRow{
@@ -226,23 +264,31 @@ func ControllerKnobStudy(e *Env) ([]KnobRow, error) {
 		{"deadband 5%", core.Options{Deadband: 0.05}},
 		{"no smoothing", core.Options{SmoothAlpha: 1}},
 	}
+	type appPoint struct{ ratio, slow float64 }
 	var rows []KnobRow
 	for _, v := range variants {
+		perApp, err := batch.Map(context.Background(), e.Workers, workloads.Suite(),
+			func(_ context.Context, _ int, app *workloads.Application) (appPoint, error) {
+				base, err := e.session(policy.NewBaseline()).Run(workloads.ByName(app.Name))
+				if err != nil {
+					return appPoint{}, err
+				}
+				opts := v.opts
+				opts.Predictor = e.Predictor()
+				fresh := workloads.ByName(app.Name)
+				hm, err := e.session(core.New(opts)).Run(fresh)
+				if err != nil {
+					return appPoint{}, err
+				}
+				return appPoint{ratio: hm.ED2() / base.ED2(), slow: hm.TotalTime() / base.TotalTime()}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		var ratios, slows []float64
-		for _, app := range workloads.Suite() {
-			base, err := e.session(policy.NewBaseline()).Run(workloads.ByName(app.Name))
-			if err != nil {
-				return nil, err
-			}
-			opts := v.opts
-			opts.Predictor = e.Predictor()
-			fresh := workloads.ByName(app.Name)
-			hm, err := e.session(core.New(opts)).Run(fresh)
-			if err != nil {
-				return nil, err
-			}
-			ratios = append(ratios, hm.ED2()/base.ED2())
-			slows = append(slows, hm.TotalTime()/base.TotalTime())
+		for _, p := range perApp {
+			ratios = append(ratios, p.ratio)
+			slows = append(slows, p.slow)
 		}
 		rows = append(rows, KnobRow{
 			Label:    v.label,
@@ -263,5 +309,3 @@ func KnobString(rows []KnobRow) string {
 	}
 	return b.String()
 }
-
-var _ = gpusim.Default // documented dependency of the ablations' sessions

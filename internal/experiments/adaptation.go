@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"harmonia/internal/batch"
 	"harmonia/internal/core"
 	"harmonia/internal/hw"
 	"harmonia/internal/metrics"
@@ -34,7 +36,7 @@ func Fig14Graph500Phases(e *Env) []Fig14Row {
 	k := kernelByName("Graph500.BottomStepUp")
 	var rows []Fig14Row
 	for i := 0; i < 8; i++ {
-		r := e.Sim.Run(k, i, hw.MaxConfig())
+		r := e.Runner().Run(k, i, hw.MaxConfig())
 		rows = append(rows, Fig14Row{
 			Iter:        i,
 			VALUInsts:   r.Counters.VALUInsts,
@@ -204,32 +206,42 @@ type Fig17Result struct {
 // fig17Apps is the application subset shown in the paper's Figure 17.
 var fig17Apps = []string{"BPT", "CoMD", "Graph500", "Sort", "SPMV", "Stencil", "XSBench", "miniFE"}
 
-// Fig17PowerSharing reproduces Figure 17.
+// Fig17PowerSharing reproduces Figure 17. Applications fan out on the
+// Env's batch pool; rows and the savings accumulation keep the paper's
+// app order regardless of worker count.
 func Fig17PowerSharing(e *Env) (Fig17Result, error) {
 	var res Fig17Result
-	var gpuSaved, memSaved float64
-	for _, name := range fig17Apps {
-		app := workloads.ByName(name)
-		base, err := e.session(policy.NewBaseline()).Run(app)
-		if err != nil {
-			return res, err
-		}
-		hm, err := e.session(e.harmonia()).Run(workloads.ByName(name))
-		if err != nil {
-			return res, err
-		}
-		bGPU := base.Energy.GPU / base.TotalTime()
-		bMem := base.Energy.Mem / base.TotalTime()
-		hGPU := hm.Energy.GPU / hm.TotalTime()
-		hMem := hm.Energy.Mem / hm.TotalTime()
-		norm := bGPU + bMem
-		res.Rows = append(res.Rows, Fig17Row{
-			App:         name,
-			BaselineGPU: bGPU / norm, BaselineMem: bMem / norm,
-			HarmoniaGPU: hGPU / norm, HarmoniaMem: hMem / norm,
+	type appPower struct{ bGPU, bMem, hGPU, hMem float64 }
+	perApp, err := batch.Map(context.Background(), e.Workers, fig17Apps,
+		func(_ context.Context, _ int, name string) (appPower, error) {
+			base, err := e.session(policy.NewBaseline()).Run(workloads.ByName(name))
+			if err != nil {
+				return appPower{}, err
+			}
+			hm, err := e.session(e.harmonia()).Run(workloads.ByName(name))
+			if err != nil {
+				return appPower{}, err
+			}
+			return appPower{
+				bGPU: base.Energy.GPU / base.TotalTime(),
+				bMem: base.Energy.Mem / base.TotalTime(),
+				hGPU: hm.Energy.GPU / hm.TotalTime(),
+				hMem: hm.Energy.Mem / hm.TotalTime(),
+			}, nil
 		})
-		gpuSaved += bGPU - hGPU
-		memSaved += bMem - hMem
+	if err != nil {
+		return res, err
+	}
+	var gpuSaved, memSaved float64
+	for i, p := range perApp {
+		norm := p.bGPU + p.bMem
+		res.Rows = append(res.Rows, Fig17Row{
+			App:         fig17Apps[i],
+			BaselineGPU: p.bGPU / norm, BaselineMem: p.bMem / norm,
+			HarmoniaGPU: p.hGPU / norm, HarmoniaMem: p.hMem / norm,
+		})
+		gpuSaved += p.bGPU - p.hGPU
+		memSaved += p.bMem - p.hMem
 	}
 	total := gpuSaved + memSaved
 	if total > 0 {
@@ -276,31 +288,29 @@ var fig18Apps = []string{"CoMD", "Graph500", "LUD", "SPMV", "Streamcluster", "XS
 // Fig18CGvsFG reproduces Figure 18: the relative contributions of
 // coarse-grain and fine-grain tuning.
 func Fig18CGvsFG(e *Env) ([]Fig18Row, error) {
-	var rows []Fig18Row
-	for _, name := range fig18Apps {
-		app := workloads.ByName(name)
-		base, err := e.session(policy.NewBaseline()).Run(app)
-		if err != nil {
-			return nil, err
-		}
-		cgRep, err := e.session(e.cgOnly()).Run(workloads.ByName(name))
-		if err != nil {
-			return nil, err
-		}
-		hmCtrl := core.New(core.Options{Predictor: e.Predictor()})
-		hmRep, err := e.session(hmCtrl).Run(workloads.ByName(name))
-		if err != nil {
-			return nil, err
-		}
-		cgGain := metrics.Improvement(base.ED2(), cgRep.ED2())
-		hmGain := metrics.Improvement(base.ED2(), hmRep.ED2())
-		cgN, fgN, rev := hmCtrl.Stats()
-		rows = append(rows, Fig18Row{
-			App: name, CGGain: cgGain, FGIncrement: hmGain - cgGain,
-			CGActions: cgN, FGActions: fgN, Reverts: rev,
+	return batch.Map(context.Background(), e.Workers, fig18Apps,
+		func(_ context.Context, _ int, name string) (Fig18Row, error) {
+			base, err := e.session(policy.NewBaseline()).Run(workloads.ByName(name))
+			if err != nil {
+				return Fig18Row{}, err
+			}
+			cgRep, err := e.session(e.cgOnly()).Run(workloads.ByName(name))
+			if err != nil {
+				return Fig18Row{}, err
+			}
+			hmCtrl := core.New(core.Options{Predictor: e.Predictor()})
+			hmRep, err := e.session(hmCtrl).Run(workloads.ByName(name))
+			if err != nil {
+				return Fig18Row{}, err
+			}
+			cgGain := metrics.Improvement(base.ED2(), cgRep.ED2())
+			hmGain := metrics.Improvement(base.ED2(), hmRep.ED2())
+			cgN, fgN, rev := hmCtrl.Stats()
+			return Fig18Row{
+				App: name, CGGain: cgGain, FGIncrement: hmGain - cgGain,
+				CGActions: cgN, FGActions: fgN, Reverts: rev,
+			}, nil
 		})
-	}
-	return rows, nil
 }
 
 // Fig18String renders Figure 18's rows.

@@ -34,7 +34,7 @@ type Fig1Result struct {
 // configuration.
 func Fig1PowerBreakdown(e *Env) Fig1Result {
 	k := kernelByName("XSBench.Lookup")
-	r := e.Sim.Run(k, 0, hw.MaxConfig())
+	r := e.Runner().Run(k, 0, hw.MaxConfig())
 	rails := e.Power.Rails(hw.MaxConfig(), power.Activity{
 		VALUBusyFrac:    r.Counters.VALUBusy / 100,
 		MemUnitBusyFrac: r.Counters.MemUnitBusy / 100,
@@ -123,7 +123,7 @@ func Fig3BalanceCurves(e *Env, kernelName string) Fig3Result {
 	}
 	minCfg := hw.MinConfig()
 	baseOPB := minCfg.OpsPerByte()
-	baseTime := e.Sim.Run(k, 0, minCfg).Time
+	baseTime := e.Runner().Run(k, 0, minCfg).Time
 
 	res := Fig3Result{Kernel: kernelName}
 	for _, mf := range hw.MemFreqs() {
@@ -134,7 +134,7 @@ func Fig3BalanceCurves(e *Env, kernelName string) Fig3Result {
 					Compute: hw.ComputeConfig{CUs: n, Freq: cf},
 					Memory:  hw.MemConfig{BusFreq: mf},
 				}
-				t := e.Sim.Run(k, 0, cfg).Time
+				t := e.Runner().Run(k, 0, cfg).Time
 				curve.Points = append(curve.Points, BalancePoint{
 					Config:       cfg,
 					HwOpsPerByte: cfg.OpsPerByte() / baseOPB,
@@ -203,7 +203,7 @@ type Fig4Result struct {
 
 // cardPowerAt runs the kernel and evaluates card power.
 func cardPowerAt(e *Env, k *workloads.Kernel, cfg hw.Config) float64 {
-	r := e.Sim.Run(k, 0, cfg)
+	r := e.Runner().Run(k, 0, cfg)
 	return e.Power.Rails(cfg, power.Activity{
 		VALUBusyFrac:    r.Counters.VALUBusy / 100,
 		MemUnitBusyFrac: r.Counters.MemUnitBusy / 100,
@@ -316,7 +316,7 @@ func Fig6MetricComparison(e *Env) Fig6Result {
 			var total metrics.Sample
 			for iter := 0; iter < app.Iterations; iter++ {
 				for _, k := range app.Kernels {
-					r := e.Sim.Run(k, iter, cfg)
+					r := e.Runner().Run(k, iter, cfg)
 					rails := e.Power.Rails(cfg, power.Activity{
 						VALUBusyFrac:    r.Counters.VALUBusy / 100,
 						MemUnitBusyFrac: r.Counters.MemUnitBusy / 100,
@@ -398,7 +398,7 @@ func Fig7OccupancyEffect(e *Env) []Fig7Row {
 	var out []Fig7Row
 	for _, name := range []string{"Sort.BottomScan", "CoMD.AdvanceVelocity"} {
 		k := kernelByName(name)
-		m := sensitivity.Measure(e.Sim, k)
+		m := sensitivity.Measure(e.Runner(), k)
 		out = append(out, Fig7Row{
 			Kernel:               name,
 			Occupancy:            k.Occupancy(),
@@ -425,8 +425,8 @@ func Fig8DivergenceEffect(e *Env) []Fig8Row {
 	var out []Fig8Row
 	for _, name := range []string{"SRAD.Prepare", "Sort.BottomScan"} {
 		k := kernelByName(name)
-		m := sensitivity.Measure(e.Sim, k)
-		r := e.Sim.Run(k, 0, hw.MaxConfig())
+		m := sensitivity.Measure(e.Runner(), k)
+		r := e.Runner().Run(k, 0, hw.MaxConfig())
 		out = append(out, Fig8Row{
 			Kernel:               name,
 			BranchDivergence:     k.Divergence * 100,
@@ -454,13 +454,13 @@ type Fig9Result struct {
 // Fig9ClockDomains reproduces Figure 9.
 func Fig9ClockDomains(e *Env) Fig9Result {
 	k := kernelByName("DeviceMemory.Stream")
-	m := sensitivity.Measure(e.Sim, k)
-	rMax := e.Sim.Run(k, 0, hw.MaxConfig())
+	m := sensitivity.Measure(e.Runner(), k)
+	rMax := e.Runner().Run(k, 0, hw.MaxConfig())
 	low := hw.Config{
 		Compute: hw.ComputeConfig{CUs: hw.MaxCUs, Freq: hw.MinCUFreq},
 		Memory:  hw.MemConfig{BusFreq: hw.MaxMemFreq},
 	}
-	rLow := e.Sim.Run(k, 0, low)
+	rLow := e.Runner().Run(k, 0, low)
 	return Fig9Result{
 		Kernel:                 k.Name,
 		ICActivity:             rMax.Counters.ICActivity,
@@ -501,9 +501,9 @@ type Table3Result struct {
 // Table3Model trains the sensitivity predictors and reports coefficients
 // and accuracy (Sections 4.2-4.3).
 func Table3Model(e *Env) Table3Result {
-	pts := sensitivity.BuildConfigTrainingSet(e.Sim, workloads.AllKernels())
+	pts := sensitivity.BuildConfigTrainingSet(e.Runner(), workloads.AllKernels())
 	pred := e.Predictor()
-	kernelPts := sensitivity.BuildTrainingSet(e.Sim, workloads.AllKernels())
+	kernelPts := sensitivity.BuildTrainingSet(e.Runner(), workloads.AllKernels())
 	return Table3Result{
 		Bandwidth:      pred.Bandwidth,
 		Compute:        pred.Compute,

@@ -19,6 +19,7 @@ import (
 	"harmonia/internal/power"
 	"harmonia/internal/sensitivity"
 	"harmonia/internal/session"
+	"harmonia/internal/simcache"
 	"harmonia/internal/workloads"
 )
 
@@ -30,6 +31,20 @@ type Env struct {
 	Sim   *gpusim.Model
 	Power *power.Model
 
+	// Cache, when non-nil, memoizes simulation results across every
+	// study run on this Env: oracle sweeps, sensitivity training, and
+	// suite sessions all re-simulate the same (kernel, iteration,
+	// configuration) triples, and the simulator is pure, so cached runs
+	// are bit-identical to uncached ones. NewEnv installs one; a
+	// zero-constructed Env runs uncached.
+	Cache *simcache.Cache
+
+	// Workers bounds the batch pool the suite-level studies fan out on
+	// (one job per application). Zero means GOMAXPROCS; 1 forces serial
+	// execution. Results are assembled in input order either way, so
+	// the worker count never changes any study's numbers.
+	Workers int
+
 	predOnce sync.Once
 	pred     *sensitivity.Predictor
 
@@ -38,9 +53,17 @@ type Env struct {
 	resultsErr  error
 }
 
-// NewEnv returns an Env with the default simulator and power model.
+// NewEnv returns an Env with the default simulator and power model, a
+// shared simulation memo, and a parallel study pool.
 func NewEnv() *Env {
-	return &Env{Sim: gpusim.Default(), Power: power.Default()}
+	return &Env{Sim: gpusim.Default(), Power: power.Default(), Cache: simcache.New()}
+}
+
+// Runner returns the Env's simulator as the sessions and studies consume
+// it: memoized through Cache when one is installed, the raw model
+// otherwise.
+func (e *Env) Runner() gpusim.Runner {
+	return simcache.For(e.Sim, e.Cache)
 }
 
 // Predictor returns the Env's trained sensitivity predictor, training it
@@ -48,7 +71,7 @@ func NewEnv() *Env {
 func (e *Env) Predictor() *sensitivity.Predictor {
 	e.predOnce.Do(func() {
 		p, err := sensitivity.Train(
-			sensitivity.BuildConfigTrainingSet(e.Sim, workloads.AllKernels()))
+			sensitivity.BuildConfigTrainingSetN(e.Runner(), workloads.AllKernels(), e.Workers))
 		if err != nil {
 			panic(err) // fixed known-good training set; see DefaultPredictor
 		}
@@ -59,7 +82,7 @@ func (e *Env) Predictor() *sensitivity.Predictor {
 
 // session returns a session bound to this Env's models.
 func (e *Env) session(p policy.Policy) *session.Session {
-	return &session.Session{Sim: e.Sim, Power: e.Power, Policy: p}
+	return &session.Session{Sim: e.Runner(), Power: e.Power, Policy: p}
 }
 
 // harmonia returns a fresh Harmonia controller.
@@ -77,9 +100,11 @@ func (e *Env) computeOnly() policy.Policy {
 	return core.NewComputeOnly(e.Predictor())
 }
 
-// oracleFor returns the exhaustive ED2 oracle for an application.
+// oracleFor returns the exhaustive ED2 oracle for an application. The
+// oracle sweeps through the Env's memo, so re-sweeping a kernel the
+// suite has already profiled costs map lookups, not simulations.
 func (e *Env) oracleFor(app *workloads.Application) policy.Policy {
-	return oracle.New(e.Sim, e.Power, app)
+	return oracle.New(e.Runner(), e.Power, app)
 }
 
 // kernelByName finds a catalog kernel.

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"harmonia/internal/batch"
 	"harmonia/internal/metrics"
 	"harmonia/internal/policy"
 	"harmonia/internal/sensitivity"
@@ -52,30 +54,42 @@ func (a AppResult) Slowdown(s metrics.Sample) float64 {
 // CG-only, Harmonia, oracle, and compute-DVFS-only policies. The sweep is
 // cached on the Env. Every policy gets a fresh controller per application
 // so no state leaks between runs.
+//
+// Applications fan out across the Env's batch pool (one job per app;
+// Env.Workers bounds it) with results assembled in suite order, so the
+// parallel evaluation is bit-identical to the serial one.
 func (e *Env) Results() ([]AppResult, error) {
 	e.resultsOnce.Do(func() {
-		for _, app := range workloads.Suite() {
-			res := AppResult{App: app.Name, Stress: app.Stress}
-			runs := []struct {
-				dst    *metrics.Sample
-				policy policy.Policy
-			}{
-				{&res.Baseline, policy.NewBaseline()},
-				{&res.CG, e.cgOnly()},
-				{&res.Harmonia, e.harmonia()},
-				{&res.Oracle, e.oracleFor(app)},
-				{&res.ComputeOnly, e.computeOnly()},
-			}
-			for _, r := range runs {
-				rep, err := e.session(r.policy).Run(app)
-				if err != nil {
-					e.resultsErr = err
-					return
+		// Train the predictor before fanning out so the one-time sweep
+		// isn't raced into by every worker at once.
+		e.Predictor()
+		results, err := batch.Map(context.Background(), e.Workers, workloads.Suite(),
+			func(_ context.Context, _ int, app *workloads.Application) (AppResult, error) {
+				res := AppResult{App: app.Name, Stress: app.Stress}
+				runs := []struct {
+					dst    *metrics.Sample
+					policy policy.Policy
+				}{
+					{&res.Baseline, policy.NewBaseline()},
+					{&res.CG, e.cgOnly()},
+					{&res.Harmonia, e.harmonia()},
+					{&res.Oracle, e.oracleFor(app)},
+					{&res.ComputeOnly, e.computeOnly()},
 				}
-				*r.dst = rep.Sample()
-			}
-			e.results = append(e.results, res)
+				for _, r := range runs {
+					rep, err := e.session(r.policy).Run(app)
+					if err != nil {
+						return res, err
+					}
+					*r.dst = rep.Sample()
+				}
+				return res, nil
+			})
+		if err != nil {
+			e.resultsErr = err
+			return
 		}
+		e.results = results
 	})
 	return e.results, e.resultsErr
 }
@@ -233,7 +247,7 @@ func ComputeOnlyStudy(e *Env) (ComputeOnlyResult, error) {
 
 // PredictorAccuracy reproduces Section 7.2's predictor-error report.
 func PredictorAccuracy(e *Env) sensitivity.Accuracy {
-	kernelPts := sensitivity.BuildTrainingSet(e.Sim, workloads.AllKernels())
+	kernelPts := sensitivity.BuildTrainingSet(e.Runner(), workloads.AllKernels())
 	return sensitivity.Evaluate(e.Predictor(), kernelPts)
 }
 

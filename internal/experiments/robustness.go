@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"harmonia/internal/batch"
 	"harmonia/internal/core"
 	"harmonia/internal/faults"
 	"harmonia/internal/metrics"
@@ -46,7 +48,10 @@ var DefaultIntensities = []float64{0, 0.25, 0.5, 1}
 // same per-application seed, and each is measured against its own
 // clean-platform run, so the ratios isolate fault sensitivity from
 // baseline algorithm differences. The study is deterministic: the same
-// seed reproduces the same fault sequences and the same numbers.
+// seed reproduces the same fault sequences and the same numbers —
+// applications fan out on the Env's batch pool with results assembled
+// in suite order, and each job owns its injector and controller, so
+// the parallel sweep is bit-identical to the serial one.
 func Robustness(e *Env, seed int64, intensities []float64) (RobustnessResult, error) {
 	if len(intensities) == 0 {
 		intensities = DefaultIntensities
@@ -57,50 +62,67 @@ func Robustness(e *Env, seed int64, intensities []float64) (RobustnessResult, er
 	// Clean-platform ED2 and time per application. By the clean-path
 	// equivalence property the hardened and naive controllers produce
 	// identical clean runs, so one run serves as both denominators.
-	cleanED2 := make([]float64, len(suite))
-	cleanTime := make([]float64, len(suite))
-	for i, app := range suite {
-		rep, err := e.session(e.harmonia()).Run(app)
+	type cleanPoint struct{ ed2, time float64 }
+	clean, err := batch.Map(context.Background(), e.Workers, suite,
+		func(_ context.Context, _ int, app *workloads.Application) (cleanPoint, error) {
+			rep, err := e.session(e.harmonia()).Run(app)
+			if err != nil {
+				return cleanPoint{}, err
+			}
+			return cleanPoint{ed2: rep.ED2(), time: rep.TotalTime()}, nil
+		})
+	if err != nil {
+		return out, err
+	}
+
+	type faultPoint struct{ ed2N, ed2H, tN, tH float64 }
+	for _, intensity := range intensities {
+		pt := RobustnessPoint{Intensity: intensity}
+		perApp, err := batch.Map(context.Background(), e.Workers, suite,
+			func(_ context.Context, i int, app *workloads.Application) (faultPoint, error) {
+				// Per-application seed: every app sees its own deterministic
+				// fault stream, stable across intensities and controllers.
+				appSeed := seed + int64(i+1)*7919
+				cfg := faults.Profile(appSeed, intensity)
+
+				runOne := func(hardened bool) (*session.Report, error) {
+					p := core.Options{Predictor: e.Predictor()}
+					if !hardened {
+						p.Robust = core.RobustOptions{Disabled: true}
+					}
+					sess := e.session(core.New(p))
+					if cfg.Enabled() {
+						sess.Faults = faults.New(cfg)
+						// Fault-injected runs bypass the simulation memo:
+						// the injected path is exactly the raw platform.
+						sess.Sim = e.Sim
+					}
+					return sess.Run(app)
+				}
+				repN, err := runOne(false)
+				if err != nil {
+					return faultPoint{}, err
+				}
+				repH, err := runOne(true)
+				if err != nil {
+					return faultPoint{}, err
+				}
+				return faultPoint{
+					ed2N: repN.ED2() / clean[i].ed2,
+					ed2H: repH.ED2() / clean[i].ed2,
+					tN:   repN.TotalTime() / clean[i].time,
+					tH:   repH.TotalTime() / clean[i].time,
+				}, nil
+			})
 		if err != nil {
 			return out, err
 		}
-		cleanED2[i] = rep.ED2()
-		cleanTime[i] = rep.TotalTime()
-	}
-
-	for _, intensity := range intensities {
-		pt := RobustnessPoint{Intensity: intensity}
 		var ed2N, ed2H, tN, tH []float64
-		for i, app := range suite {
-			// Per-application seed: every app sees its own deterministic
-			// fault stream, stable across intensities and controllers.
-			appSeed := seed + int64(i+1)*7919
-			cfg := faults.Profile(appSeed, intensity)
-
-			runOne := func(hardened bool) (*session.Report, error) {
-				var p core.Options
-				p = core.Options{Predictor: e.Predictor()}
-				if !hardened {
-					p.Robust = core.RobustOptions{Disabled: true}
-				}
-				sess := e.session(core.New(p))
-				if cfg.Enabled() {
-					sess.Faults = faults.New(cfg)
-				}
-				return sess.Run(app)
-			}
-			repN, err := runOne(false)
-			if err != nil {
-				return out, err
-			}
-			repH, err := runOne(true)
-			if err != nil {
-				return out, err
-			}
-			ed2N = append(ed2N, repN.ED2()/cleanED2[i])
-			ed2H = append(ed2H, repH.ED2()/cleanED2[i])
-			tN = append(tN, repN.TotalTime()/cleanTime[i])
-			tH = append(tH, repH.TotalTime()/cleanTime[i])
+		for _, p := range perApp {
+			ed2N = append(ed2N, p.ed2N)
+			ed2H = append(ed2H, p.ed2H)
+			tN = append(tN, p.tN)
+			tH = append(tH, p.tH)
 		}
 		pt.NaiveED2 = metrics.GeoMean(ed2N)
 		pt.HardenedED2 = metrics.GeoMean(ed2H)

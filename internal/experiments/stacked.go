@@ -57,7 +57,7 @@ func StackedEnvelopeStudy(e *Env, throttleC float64) (StackedResult, error) {
 			}
 			die := thermal.New(thermal.StackedParams())
 			guard := thermal.NewThrottle(p.make(), die, e.Power, throttleC)
-			sess := &session.Session{Sim: e.Sim, Power: e.Power, Policy: guard}
+			sess := &session.Session{Sim: e.Runner(), Power: e.Power, Policy: guard}
 			rep, err := sess.Run(workloads.ByName(name))
 			if err != nil {
 				return res, err

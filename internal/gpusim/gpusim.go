@@ -34,6 +34,15 @@ import (
 	"harmonia/internal/workloads"
 )
 
+// Runner simulates kernel invocations. *Model is the canonical
+// implementation; internal/simcache wraps one in a memoizing layer that
+// returns bit-identical results. Implementations must be pure: the same
+// (kernel, iter, config) triple always yields the same Result, and
+// concurrent calls are safe.
+type Runner interface {
+	Run(k *workloads.Kernel, iter int, cfg hw.Config) Result
+}
+
 // Model holds the simulator's calibration constants.
 type Model struct {
 	// MemLatency is the loaded DRAM round-trip latency in seconds.
@@ -71,6 +80,8 @@ func Default() *Model {
 		HideWaves:          7,
 	}
 }
+
+var _ Runner = (*Model)(nil)
 
 // Result is the outcome of one kernel invocation at one configuration.
 type Result struct {

@@ -7,9 +7,12 @@
 package oracle
 
 import (
+	"sync"
+
 	"harmonia/internal/gpusim"
 	"harmonia/internal/hw"
 	"harmonia/internal/power"
+	"harmonia/internal/simcache"
 	"harmonia/internal/sweep"
 	"harmonia/internal/workloads"
 )
@@ -47,14 +50,27 @@ func (o Objective) String() string {
 }
 
 // Oracle is the per-kernel-invocation exhaustive-search policy. It
-// implements policy.Policy.
+// implements policy.Policy and is safe for concurrent use: the decision
+// cache is mutex-guarded, so one Oracle may serve parallel sessions
+// (e.g. concurrent served runs) without racing.
 type Oracle struct {
-	sim       *gpusim.Model
+	sim       gpusim.Runner
 	pow       *power.Model
 	objective Objective
 	kernels   map[string]*workloads.Kernel
 	space     []hw.Config
-	cache     map[cacheKey]hw.Config
+	workers   int
+
+	// When sim is a simcache runner, memo/model give the oracle access
+	// to the shared decision memo: the argmin of a deterministic sweep
+	// is itself memoizable, so a fresh Oracle over a warm cache skips
+	// the re-sweep entirely instead of re-scoring the space through
+	// per-result cache hits.
+	memo  *simcache.Cache
+	model *gpusim.Model
+
+	mu    sync.Mutex
+	cache map[cacheKey]hw.Config
 }
 
 type cacheKey struct {
@@ -63,19 +79,22 @@ type cacheKey struct {
 }
 
 // New returns the ED² oracle for the kernels of the given applications.
-func New(sim *gpusim.Model, pow *power.Model, apps ...*workloads.Application) *Oracle {
+// sim may be the raw interval model or a memoizing simcache runner —
+// with the latter, repeated sweeps of the same kernel hit the cache
+// instead of re-simulating the whole configuration space.
+func New(sim gpusim.Runner, pow *power.Model, apps ...*workloads.Application) *Oracle {
 	return NewFor(MinED2, sim, pow, apps...)
 }
 
 // NewFor returns an oracle minimizing the given objective.
-func NewFor(obj Objective, sim *gpusim.Model, pow *power.Model, apps ...*workloads.Application) *Oracle {
+func NewFor(obj Objective, sim gpusim.Runner, pow *power.Model, apps ...*workloads.Application) *Oracle {
 	kernels := make(map[string]*workloads.Kernel)
 	for _, app := range apps {
 		for _, k := range app.Kernels {
 			kernels[k.Name] = k
 		}
 	}
-	return &Oracle{
+	o := &Oracle{
 		sim:       sim,
 		pow:       pow,
 		objective: obj,
@@ -83,6 +102,10 @@ func NewFor(obj Objective, sim *gpusim.Model, pow *power.Model, apps ...*workloa
 		space:     hw.ConfigSpace(),
 		cache:     make(map[cacheKey]hw.Config),
 	}
+	if cached, ok := sim.(simcache.Cached); ok && cached.Cache != nil {
+		o.memo, o.model = cached.Cache, cached.Model
+	}
+	return o
 }
 
 // Name implements policy.Policy.
@@ -97,23 +120,44 @@ func (o *Oracle) Name() string {
 // exact kernel invocation, found by exhaustive profiling.
 func (o *Oracle) Decide(kernel string, iter int) hw.Config {
 	key := cacheKey{kernel, iter}
-	if cfg, ok := o.cache[key]; ok {
+	o.mu.Lock()
+	cfg, ok := o.cache[key]
+	o.mu.Unlock()
+	if ok {
 		return cfg
 	}
 	k, ok := o.kernels[kernel]
 	if !ok {
 		return hw.MaxConfig()
 	}
+	// A shared decision memo may already hold this sweep's argmin —
+	// computed by this oracle at an earlier iteration of the same phase,
+	// or by any other oracle over the same cache.
+	if o.memo != nil {
+		if cfg, ok := o.memo.Decision(o.model, o.pow.Params(), k, iter, int(o.objective), len(o.space)); ok {
+			o.mu.Lock()
+			o.cache[key] = cfg
+			o.mu.Unlock()
+			return cfg
+		}
+	}
 	// Exhaustive profiling of the whole configuration space; the
 	// simulator is pure, so the search fans out over a worker pool with
-	// deterministic earliest-index tie-breaking.
-	best, _, ok := sweep.Min(o.space, 0, func(cfg hw.Config) float64 {
+	// deterministic earliest-index tie-breaking. The lock is NOT held
+	// across the sweep: concurrent callers may race to compute the same
+	// key, but the sweep is deterministic so both write the same value.
+	best, _, ok := sweep.Min(o.space, o.workers, func(cfg hw.Config) float64 {
 		return o.evaluate(k, iter, cfg)
 	})
 	if !ok {
 		best = hw.MaxConfig()
 	}
+	if o.memo != nil {
+		o.memo.StoreDecision(o.model, o.pow.Params(), k, iter, int(o.objective), len(o.space), best)
+	}
+	o.mu.Lock()
 	o.cache[key] = best
+	o.mu.Unlock()
 	return best
 }
 

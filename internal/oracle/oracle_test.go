@@ -1,11 +1,13 @@
 package oracle
 
 import (
+	"sync"
 	"testing"
 
 	"harmonia/internal/gpusim"
 	"harmonia/internal/hw"
 	"harmonia/internal/power"
+	"harmonia/internal/simcache"
 	"harmonia/internal/workloads"
 )
 
@@ -143,5 +145,80 @@ func TestObjectivesDisagreeWhereExpected(t *testing.T) {
 	}
 	if ed.Memory.BusFreq != hw.MinMemFreq {
 		t.Errorf("ED objective memory = %v, want floor", ed.Memory.BusFreq)
+	}
+}
+
+// TestOracleSharedAcrossConcurrentSessions is the regression test for
+// the unsynchronized decision cache: one Oracle served to many parallel
+// sessions (the POST /v1/runs "oracle" policy shape) must not race, and
+// every session must see identical decisions. Run under -race.
+func TestOracleSharedAcrossConcurrentSessions(t *testing.T) {
+	app := workloads.ByName("Graph500")
+	o := newOracle(app)
+
+	type decision struct {
+		kernel string
+		iter   int
+		cfg    hw.Config
+	}
+	const goroutines = 8
+	results := make([][]decision, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < app.Iterations; iter++ {
+				for _, k := range app.Kernels {
+					cfg := o.Decide(k.Name, iter)
+					results[g] = append(results[g], decision{k.Name, iter, cfg})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if len(results[g]) != len(results[0]) {
+			t.Fatalf("goroutine %d made %d decisions, want %d", g, len(results[g]), len(results[0]))
+		}
+		for i := range results[g] {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d decision %d = %+v, want %+v", g, i, results[g][i], results[0][i])
+			}
+		}
+	}
+}
+
+// TestFreshOracleReusesMemoizedDecisions: two Oracles sharing one
+// simcache must agree on every decision, with the second never
+// re-sweeping — and both must match an uncached oracle bit-for-bit.
+func TestFreshOracleReusesMemoizedDecisions(t *testing.T) {
+	app := workloads.ByName("Graph500")
+	cache := simcache.New()
+	runner := simcache.For(gpusim.Default(), cache)
+
+	plain := New(gpusim.Default(), power.Default(), app)
+	first := New(runner, power.Default(), app)
+	second := New(runner, power.Default(), app)
+
+	for _, k := range app.Kernels {
+		for iter := 0; iter < 3; iter++ {
+			want := plain.Decide(k.Name, iter)
+			if got := first.Decide(k.Name, iter); got != want {
+				t.Fatalf("%s iter %d: memoized oracle chose %v, uncached %v", k.Name, iter, got, want)
+			}
+		}
+	}
+	hits0, _ := cache.DecisionStats()
+	for _, k := range app.Kernels {
+		for iter := 0; iter < 3; iter++ {
+			if got, want := second.Decide(k.Name, iter), plain.Decide(k.Name, iter); got != want {
+				t.Fatalf("%s iter %d: second oracle chose %v, want %v", k.Name, iter, got, want)
+			}
+		}
+	}
+	hits1, _ := cache.DecisionStats()
+	if hits1 == hits0 {
+		t.Fatal("second oracle never hit the shared decision memo")
 	}
 }

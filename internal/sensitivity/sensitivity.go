@@ -7,9 +7,11 @@
 package sensitivity
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"harmonia/internal/batch"
 	"harmonia/internal/counters"
 	"harmonia/internal/gpusim"
 	"harmonia/internal/hw"
@@ -52,7 +54,7 @@ func sensitivityOf(tLow, tHigh, ratio float64) float64 {
 // the paper's multiple-runs-per-configuration methodology.
 const measureIters = 8
 
-func avgTime(m *gpusim.Model, k *workloads.Kernel, cfg hw.Config) float64 {
+func avgTime(m gpusim.Runner, k *workloads.Kernel, cfg hw.Config) float64 {
 	sum := 0.0
 	for i := 0; i < measureIters; i++ {
 		sum += m.Run(k, i, cfg).Time
@@ -61,8 +63,8 @@ func avgTime(m *gpusim.Model, k *workloads.Kernel, cfg hw.Config) float64 {
 }
 
 // Measure computes the ground-truth sensitivities of a kernel on the
-// given simulator.
-func Measure(m *gpusim.Model, k *workloads.Kernel) Measurement {
+// given simulator (the raw model, or a memoizing simcache runner).
+func Measure(m gpusim.Runner, k *workloads.Kernel) Measurement {
 	max := hw.MaxConfig()
 	cfg := func(cus int, cf, mf hw.MHz) hw.Config {
 		return hw.Config{
@@ -244,7 +246,7 @@ type TrainingPoint struct {
 // space: counters are averaged over all configurations and iterations
 // (Section 4.2's reduction of 11250 vectors to per-kernel nominals), and
 // ground-truth sensitivities are measured per Section 4.1.
-func BuildTrainingSet(m *gpusim.Model, kernels []*workloads.Kernel) []TrainingPoint {
+func BuildTrainingSet(m gpusim.Runner, kernels []*workloads.Kernel) []TrainingPoint {
 	space := hw.ConfigSpace()
 	points := make([]TrainingPoint, 0, len(kernels))
 	for _, k := range kernels {
@@ -273,33 +275,55 @@ func BuildTrainingSet(m *gpusim.Model, kernels []*workloads.Kernel) []TrainingPo
 // configuration, so keeping per-configuration rows is what makes runtime
 // predictions — taken at whatever configuration the kernel last ran at —
 // in-distribution. This substitution is recorded in DESIGN.md.
-func BuildConfigTrainingSet(m *gpusim.Model, kernels []*workloads.Kernel) []TrainingPoint {
+func BuildConfigTrainingSet(m gpusim.Runner, kernels []*workloads.Kernel) []TrainingPoint {
+	return BuildConfigTrainingSetN(m, kernels, 0)
+}
+
+// BuildConfigTrainingSetN is BuildConfigTrainingSet fanned out over a
+// bounded worker pool, one job per kernel. Rows are assembled in kernel
+// order with each kernel's rows generated serially, so the training set
+// — and therefore the fitted predictor — is bit-identical for every
+// worker count. workers follows the batch pool convention: 0 means
+// GOMAXPROCS, 1 forces serial execution.
+func BuildConfigTrainingSetN(m gpusim.Runner, kernels []*workloads.Kernel, workers int) []TrainingPoint {
 	space := hw.ConfigSpace()
+	perKernel, _ := batch.Map(context.Background(), workers, kernels,
+		func(_ context.Context, _ int, k *workloads.Kernel) ([]TrainingPoint, error) {
+			return kernelConfigRows(m, k, space), nil
+		})
 	points := make([]TrainingPoint, 0, len(kernels)*len(space))
-	for _, k := range kernels {
-		truth := Measure(m, k)
-		for _, cfg := range space {
-			if k.Phases == nil {
-				points = append(points, TrainingPoint{
-					Kernel:   k.Name,
-					Features: m.Run(k, 0, cfg).Counters,
-					Truth:    truth,
-				})
-				continue
-			}
-			// Phase-varying kernels contribute one row per iteration
-			// phase, so that runtime samples taken during any phase are
-			// in-distribution.
-			for i := 0; i < measureIters; i++ {
-				points = append(points, TrainingPoint{
-					Kernel:   k.Name,
-					Features: m.Run(k, i, cfg).Counters,
-					Truth:    truth,
-				})
-			}
-		}
+	for _, rows := range perKernel {
+		points = append(points, rows...)
 	}
 	return points
+}
+
+// kernelConfigRows generates one kernel's training rows across the
+// configuration space.
+func kernelConfigRows(m gpusim.Runner, k *workloads.Kernel, space []hw.Config) []TrainingPoint {
+	truth := Measure(m, k)
+	rows := make([]TrainingPoint, 0, len(space))
+	for _, cfg := range space {
+		if k.Phases == nil {
+			rows = append(rows, TrainingPoint{
+				Kernel:   k.Name,
+				Features: m.Run(k, 0, cfg).Counters,
+				Truth:    truth,
+			})
+			continue
+		}
+		// Phase-varying kernels contribute one row per iteration
+		// phase, so that runtime samples taken during any phase are
+		// in-distribution.
+		for i := 0; i < measureIters; i++ {
+			rows = append(rows, TrainingPoint{
+				Kernel:   k.Name,
+				Features: m.Run(k, i, cfg).Counters,
+				Truth:    truth,
+			})
+		}
+	}
+	return rows
 }
 
 // Train fits the four linear sensitivity models on the training set

@@ -1,0 +1,357 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"harmonia"
+)
+
+// Batch aggregates one POST /v1/batch submission: the full app × policy
+// matrix as child runs in the main registry, plus one record clients
+// poll for the aggregate. Cells are row-major — for each app in order,
+// every policy in order — so cell i is (apps[i/len(policies)],
+// policies[i%len(policies)]).
+type Batch struct {
+	ID string
+	// seq orders batches for eviction, like Run.seq.
+	seq int
+
+	apps     []string
+	policies []string
+	cells    []*Run
+
+	mu         sync.Mutex
+	createdAt  time.Time
+	finishedAt time.Time
+
+	done chan struct{}
+}
+
+// Done returns a channel closed when every cell has reached a terminal
+// state.
+func (b *Batch) Done() <-chan struct{} { return b.done }
+
+// watch waits for all child runs and stamps the batch finished. It runs
+// on its own goroutine, started at creation.
+func (b *Batch) watch(now func() time.Time) {
+	for _, run := range b.cells {
+		<-run.Done()
+	}
+	b.mu.Lock()
+	b.finishedAt = now()
+	b.mu.Unlock()
+	close(b.done)
+}
+
+// terminalSince reports whether the batch finished at or before cutoff.
+func (b *Batch) terminalSince(cutoff time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.finishedAt.IsZero() && !b.finishedAt.After(cutoff)
+}
+
+// BatchCellJSON is one (app, policy) cell of a batch response: the child
+// run's identity and headline numbers (poll GET /v1/runs/{run_id} for
+// the full report).
+type BatchCellJSON struct {
+	RunID  string `json:"run_id"`
+	App    string `json:"app"`
+	Policy string `json:"policy"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// Headline metrics of the finished run.
+	ED2     *float64 `json:"ed2,omitempty"`
+	TimeS   *float64 `json:"time_s,omitempty"`
+	EnergyJ *float64 `json:"energy_j,omitempty"`
+}
+
+// BatchSummaryJSON counts the batch's cells by outcome.
+type BatchSummaryJSON struct {
+	Total  int `json:"total"`
+	Queued int `json:"queued"`
+	Done   int `json:"done"`
+	Failed int `json:"failed"`
+}
+
+// BatchJSON is the wire form of a batch record.
+type BatchJSON struct {
+	ID         string           `json:"id"`
+	Status     string           `json:"status"`
+	Apps       []string         `json:"apps"`
+	Policies   []string         `json:"policies"`
+	CreatedAt  time.Time        `json:"created_at"`
+	FinishedAt *time.Time       `json:"finished_at,omitempty"`
+	Summary    BatchSummaryJSON `json:"summary"`
+	Cells      []BatchCellJSON  `json:"cells"`
+}
+
+// JSON snapshots the batch and its cells for serialization.
+func (b *Batch) JSON() BatchJSON {
+	b.mu.Lock()
+	out := BatchJSON{
+		ID:        b.ID,
+		Apps:      b.apps,
+		Policies:  b.policies,
+		CreatedAt: b.createdAt,
+	}
+	if !b.finishedAt.IsZero() {
+		t := b.finishedAt
+		out.FinishedAt = &t
+	}
+	b.mu.Unlock()
+
+	out.Summary.Total = len(b.cells)
+	for _, run := range b.cells {
+		rj := run.JSON()
+		cell := BatchCellJSON{
+			RunID:  rj.ID,
+			App:    rj.App,
+			Policy: rj.Policy,
+			Status: rj.Status,
+			Error:  rj.Error,
+		}
+		switch rj.Status {
+		case StatusDone:
+			out.Summary.Done++
+			if rep := run.Report(); rep != nil {
+				ed2, t, e := rep.ED2(), rep.TotalTime(), rep.TotalEnergy()
+				cell.ED2, cell.TimeS, cell.EnergyJ = &ed2, &t, &e
+			}
+		case StatusFailed:
+			out.Summary.Failed++
+		default:
+			out.Summary.Queued++
+		}
+		out.Cells = append(out.Cells, cell)
+	}
+	switch {
+	case out.Summary.Failed > 0 && out.Summary.Queued == 0:
+		out.Status = StatusFailed
+	case out.Summary.Done == out.Summary.Total:
+		out.Status = StatusDone
+	default:
+		out.Status = StatusRunning
+	}
+	return out
+}
+
+// batchRegistry stores batch records with the same TTL-plus-cap
+// retention the run registry applies: finished batches are kept for TTL
+// so clients can poll the aggregate, oldest finished go first past the
+// cap, and in-flight batches are never evicted.
+type batchRegistry struct {
+	ttl time.Duration
+	max int
+	now func() time.Time
+
+	mu      sync.Mutex
+	batches map[string]*Batch
+	seq     int
+}
+
+func newBatchRegistry(ttl time.Duration, max int, now func() time.Time) *batchRegistry {
+	return &batchRegistry{ttl: ttl, max: max, now: now, batches: make(map[string]*Batch)}
+}
+
+// create stores a batch over the given cells and starts its watcher.
+func (g *batchRegistry) create(apps, policies []string, cells []*Run) *Batch {
+	now := g.now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.evictLocked(now)
+	g.seq++
+	b := &Batch{
+		ID:        fmt.Sprintf("batch-%06d", g.seq),
+		seq:       g.seq,
+		apps:      apps,
+		policies:  policies,
+		cells:     cells,
+		createdAt: now,
+		done:      make(chan struct{}),
+	}
+	g.batches[b.ID] = b
+	go b.watch(g.now)
+	return b
+}
+
+func (g *batchRegistry) get(id string) (*Batch, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.evictLocked(g.now())
+	b, ok := g.batches[id]
+	return b, ok
+}
+
+// evictLocked mirrors registry.evictLocked for batches. Callers hold
+// g.mu.
+func (g *batchRegistry) evictLocked(now time.Time) {
+	if g.ttl > 0 {
+		cutoff := now.Add(-g.ttl)
+		for id, b := range g.batches {
+			if b.terminalSince(cutoff) {
+				delete(g.batches, id)
+			}
+		}
+	}
+	if g.max > 0 && len(g.batches) > g.max {
+		finished := make([]*Batch, 0, len(g.batches))
+		for _, b := range g.batches {
+			if b.terminalSince(now) {
+				finished = append(finished, b)
+			}
+		}
+		sort.Slice(finished, func(i, j int) bool { return finished[i].seq < finished[j].seq })
+		for _, b := range finished {
+			if len(g.batches) <= g.max {
+				break
+			}
+			delete(g.batches, b.ID)
+		}
+	}
+}
+
+// BatchRequest is the body of POST /v1/batch: the cross product of apps
+// and policies, each cell sharing the request's config, TDP, and fault
+// settings. The matrix fans out on the server's existing worker pool as
+// ordinary runs; the batch record aggregates them.
+type BatchRequest struct {
+	// Apps names suite applications (GET /v1/apps lists them).
+	Apps []string `json:"apps"`
+	// Policies are POST /v1/runs policy names; every app runs under
+	// every policy.
+	Policies []string `json:"policies"`
+	// Config pins policy "fixed" cells, e.g. "16/700/925".
+	Config string `json:"config,omitempty"`
+	// TDPWatts caps "powertune" cells; zero means the stock 250 W.
+	TDPWatts float64 `json:"tdp_watts,omitempty"`
+	// FaultIntensity > 0 runs every cell under the canonical fault
+	// profile at that intensity; FaultSeed seeds it.
+	FaultIntensity float64 `json:"fault_intensity,omitempty"`
+	FaultSeed      int64   `json:"fault_seed,omitempty"`
+	// Wait false turns the call asynchronous: respond 202 immediately
+	// and poll GET /v1/batch/{id}. Default (absent or true) blocks until
+	// every cell finishes and returns the aggregate inline.
+	Wait *bool `json:"wait,omitempty"`
+}
+
+// maxBatchCells bounds one submission (apps × policies).
+const maxBatchCells = 1024
+
+// handleCreateBatch is POST /v1/batch.
+func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req BatchRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Apps) == 0 || len(req.Policies) == 0 {
+		writeError(w, http.StatusBadRequest, "batch needs at least one app and one policy")
+		return
+	}
+	if n := len(req.Apps) * len(req.Policies); n > maxBatchCells {
+		writeError(w, http.StatusBadRequest, "batch of %d cells exceeds the %d-cell limit", n, maxBatchCells)
+		return
+	}
+	if req.FaultIntensity < 0 || req.FaultIntensity > 1 {
+		writeError(w, http.StatusBadRequest, "fault_intensity must be in [0, 1], got %g", req.FaultIntensity)
+		return
+	}
+
+	// Validate the whole matrix before creating anything: one bad cell
+	// rejects the batch with nothing scheduled. Policies are stateful,
+	// so each cell gets its own instance.
+	type cell struct {
+		app *harmonia.Application
+		pol harmonia.Policy
+	}
+	cells := make([]cell, 0, len(req.Apps)*len(req.Policies))
+	for _, appName := range req.Apps {
+		app := harmonia.App(appName)
+		if app == nil {
+			writeError(w, http.StatusBadRequest, "unknown app %q (GET /v1/apps lists the suite)", appName)
+			return
+		}
+		for _, polName := range req.Policies {
+			rr := RunRequest{App: appName, Policy: polName, Config: req.Config, TDPWatts: req.TDPWatts}
+			pol, msg, err := s.buildPolicy(&rr, app)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, "building policy: %v", err)
+				return
+			}
+			if msg != "" {
+				writeError(w, http.StatusBadRequest, "%s", msg)
+				return
+			}
+			cells = append(cells, cell{app: app, pol: pol})
+		}
+	}
+
+	var opts []harmonia.RunOption
+	if req.FaultIntensity > 0 {
+		opts = append(opts, harmonia.RunWithFaults(harmonia.FaultProfile(req.FaultSeed, req.FaultIntensity)))
+	}
+	wait := req.Wait == nil || *req.Wait
+	jobCtx := s.baseCtx
+	if wait {
+		jobCtx = r.Context()
+	}
+
+	runs := make([]*Run, len(cells))
+	for i, c := range cells {
+		runs[i] = s.reg.create(c.app.Name, c.pol.Name())
+	}
+	s.retained.Set(float64(s.reg.size()))
+	b := s.batches.create(req.Apps, req.Policies, runs)
+	s.batchesTotal.Inc()
+	s.batchCells.Add(float64(len(cells)))
+
+	// Submit after the batch record exists so a poller never sees a
+	// dangling batch ID. A full queue fails the remaining cells rather
+	// than leaving them queued forever.
+	for i, c := range cells {
+		j := &job{ctx: jobCtx, run: runs[i], app: c.app, pol: c.pol, opts: opts}
+		if err := s.submit(r.Context(), j); err != nil {
+			for _, rest := range runs[i:] {
+				rest.finish(nil, fmt.Errorf("never scheduled: %w", err), s.now())
+			}
+			writeError(w, http.StatusServiceUnavailable, "could not schedule batch: %v", err)
+			return
+		}
+	}
+
+	if !wait {
+		writeJSON(w, http.StatusAccepted, b.JSON())
+		return
+	}
+	select {
+	case <-b.Done():
+	case <-r.Context().Done():
+		// Cell workers share the request context and will fail their
+		// runs; the watcher then closes Done.
+		<-b.Done()
+	}
+	out := b.JSON()
+	status := http.StatusOK
+	if out.Status == StatusFailed {
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, out)
+}
+
+// handleGetBatch is GET /v1/batch/{id}.
+func (s *Server) handleGetBatch(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.batches.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no batch %q (expired or never created)", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, b.JSON())
+}

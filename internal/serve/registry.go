@@ -23,6 +23,11 @@ const (
 // by mu; Done closes when the run reaches a terminal state.
 type Run struct {
 	ID string
+	// seq is the registry's creation sequence number. Ordering uses it
+	// rather than the ID string: IDs are zero-padded to six digits, so
+	// string order breaks when the counter rolls past run-999999
+	// ("run-1000000" < "run-999999" lexicographically).
+	seq int
 
 	mu         sync.Mutex
 	app        string
@@ -38,9 +43,10 @@ type Run struct {
 }
 
 // newRun returns a queued run record.
-func newRun(id, app, policy string, now time.Time) *Run {
+func newRun(id string, seq int, app, policy string, now time.Time) *Run {
 	return &Run{
 		ID:        id,
+		seq:       seq,
 		app:       app,
 		policy:    policy,
 		status:    StatusQueued,
@@ -158,7 +164,7 @@ func (g *registry) create(app, policy string) *Run {
 	defer g.mu.Unlock()
 	g.evictLocked(now)
 	g.seq++
-	run := newRun(fmt.Sprintf("run-%06d", g.seq), app, policy, now)
+	run := newRun(fmt.Sprintf("run-%06d", g.seq), g.seq, app, policy, now)
 	g.runs[run.ID] = run
 	return run
 }
@@ -181,7 +187,7 @@ func (g *registry) list() []*Run {
 	for _, run := range g.runs {
 		out = append(out, run)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
+	sort.Slice(out, func(i, j int) bool { return out[i].seq > out[j].seq })
 	return out
 }
 
@@ -212,7 +218,7 @@ func (g *registry) evictLocked(now time.Time) {
 				finished = append(finished, run)
 			}
 		}
-		sort.Slice(finished, func(i, j int) bool { return finished[i].ID < finished[j].ID })
+		sort.Slice(finished, func(i, j int) bool { return finished[i].seq < finished[j].seq })
 		for _, run := range finished {
 			if len(g.runs) <= g.max {
 				break

@@ -1,12 +1,14 @@
 // Package serve exposes a harmonia.System as a concurrent JSON-over-HTTP
 // evaluation service: POST /v1/runs executes an application of the suite
 // under a named policy (optionally with an injected fault profile) on a
-// bounded worker pool, GET /v1/runs/{id} and /v1/runs/{id}/trace return
-// the report and the 1 kHz power trace through internal/export, and
-// GET /metrics renders the shared telemetry registry in Prometheus text
-// format — the long-running-exporter shape GPU power tooling takes in
-// production. Served runs are bit-identical to System.Run with the same
-// inputs: the service adds scheduling and observation, never physics.
+// bounded worker pool, POST /v1/batch fans a whole app × policy matrix
+// out on the same pool and aggregates it under one pollable batch ID,
+// GET /v1/runs/{id} and /v1/runs/{id}/trace return the report and the
+// 1 kHz power trace through internal/export, and GET /metrics renders
+// the shared telemetry registry in Prometheus text format — the
+// long-running-exporter shape GPU power tooling takes in production.
+// Served runs are bit-identical to System.Run with the same inputs: the
+// service adds scheduling and observation, never physics.
 package serve
 
 import (
@@ -61,11 +63,12 @@ type Options struct {
 // Server is the HTTP evaluation service. Construct with New, mount
 // Handler, and Close when done.
 type Server struct {
-	sys *harmonia.System
-	reg *registry
-	tel *telemetry.Registry
-	log *log.Logger
-	now func() time.Time
+	sys     *harmonia.System
+	reg     *registry
+	batches *batchRegistry
+	tel     *telemetry.Registry
+	log     *log.Logger
+	now     func() time.Time
 
 	mux     *http.ServeMux
 	handler http.Handler
@@ -77,11 +80,13 @@ type Server struct {
 
 	started time.Time
 
-	httpReqs *telemetry.CounterVec
-	httpDur  *telemetry.HistogramVec
-	inflight *telemetry.Gauge
-	retained *telemetry.Gauge
-	evicted  *telemetry.Counter
+	httpReqs     *telemetry.CounterVec
+	httpDur      *telemetry.HistogramVec
+	inflight     *telemetry.Gauge
+	retained     *telemetry.Gauge
+	evicted      *telemetry.Counter
+	batchesTotal *telemetry.Counter
+	batchCells   *telemetry.Counter
 }
 
 // job is one queued evaluation.
@@ -137,6 +142,7 @@ func New(sys *harmonia.System, opts Options) *Server {
 	s := &Server{
 		sys:     sys,
 		reg:     newRegistry(ttl, maxRuns, now),
+		batches: newBatchRegistry(ttl, maxRuns, now),
 		tel:     tel,
 		log:     logger,
 		now:     now,
@@ -154,6 +160,10 @@ func New(sys *harmonia.System, opts Options) *Server {
 			"Finished and in-flight runs held in the registry."),
 		evicted: tel.Counter("harmonia_serve_evicted_runs_total",
 			"Run records evicted by TTL or capacity retention."),
+		batchesTotal: tel.Counter("harmonia_serve_batches_total",
+			"Batch matrices accepted by POST /v1/batch."),
+		batchCells: tel.Counter("harmonia_serve_batch_cells_total",
+			"Individual (app, policy) runs scheduled by batches."),
 	}
 	s.reg.onEvict = func(n int) { s.evicted.Add(float64(n)) }
 	s.buildMux()
@@ -230,6 +240,8 @@ func (s *Server) buildMux() {
 	}
 	route("POST /v1/runs", "/v1/runs", s.handleCreateRun)
 	route("GET /v1/runs", "/v1/runs", s.handleListRuns)
+	route("POST /v1/batch", "/v1/batch", s.handleCreateBatch)
+	route("GET /v1/batch/{id}", "/v1/batch/{id}", s.handleGetBatch)
 	route("GET /v1/runs/{id}", "/v1/runs/{id}", s.handleGetRun)
 	route("GET /v1/runs/{id}/trace", "/v1/runs/{id}/trace", s.handleGetTrace)
 	route("GET /v1/apps", "/v1/apps", s.handleApps)

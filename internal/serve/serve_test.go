@@ -535,3 +535,61 @@ func TestMethodNotAllowed(t *testing.T) {
 		t.Errorf("DELETE /v1/runs = %d, want 405", resp2.StatusCode)
 	}
 }
+
+// TestListOrderSurvivesSeqRollover is the regression test for ordering
+// by ID string: IDs are zero-padded to six digits, so "run-1000000"
+// sorts before "run-999999" lexicographically and a registry that had
+// crossed a million runs would list (and evict) out of order. Ordering
+// must follow the creation sequence, not the ID string.
+func TestListOrderSurvivesSeqRollover(t *testing.T) {
+	reg := newRegistry(0, 0, time.Now)
+	reg.seq = 999997 // two runs this side of the six-digit pad, then past it
+	var created []*Run
+	for i := 0; i < 4; i++ {
+		created = append(created, reg.create("app", "pol"))
+	}
+	if created[1].ID != "run-999999" || created[2].ID != "run-1000000" {
+		t.Fatalf("unexpected IDs around rollover: %s, %s", created[1].ID, created[2].ID)
+	}
+	got := reg.list()
+	if len(got) != len(created) {
+		t.Fatalf("list returned %d runs, want %d", len(got), len(created))
+	}
+	for i, run := range got {
+		want := created[len(created)-1-i] // newest first
+		if run.ID != want.ID {
+			t.Errorf("list[%d] = %s, want %s", i, run.ID, want.ID)
+		}
+	}
+}
+
+// TestCapEvictionSurvivesSeqRollover: capacity eviction must drop the
+// oldest finished runs by creation order, not by ID string, across the
+// same boundary.
+func TestCapEvictionSurvivesSeqRollover(t *testing.T) {
+	reg := newRegistry(0, 2, time.Now)
+	reg.seq = 999997
+	var created []*Run
+	for i := 0; i < 4; i++ {
+		run := reg.create("app", "pol")
+		run.start(time.Now())
+		run.finish(nil, nil, time.Now())
+		created = append(created, run)
+	}
+	reg.list() // trigger eviction down to the cap
+	if got := reg.size(); got != 2 {
+		t.Fatalf("registry size = %d, want 2", got)
+	}
+	// The two newest (run-1000000, run-1000001) survive; with string
+	// ordering the buggy code would have evicted them first.
+	for _, run := range created[2:] {
+		if _, ok := reg.get(run.ID); !ok {
+			t.Errorf("newest run %s was evicted; oldest should go first", run.ID)
+		}
+	}
+	for _, run := range created[:2] {
+		if _, ok := reg.get(run.ID); ok {
+			t.Errorf("oldest run %s survived past the cap", run.ID)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package session
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"harmonia/internal/daq"
 	"harmonia/internal/faults"
@@ -23,7 +24,9 @@ import (
 
 // Session binds a simulator, a power model, and a policy.
 type Session struct {
-	Sim    *gpusim.Model
+	// Sim simulates kernel invocations: the raw interval model, or a
+	// memoizing simcache runner (bit-identical results either way).
+	Sim    gpusim.Runner
 	Power  *power.Model
 	Policy policy.Policy
 	// DAQRateHz is the power sampling rate; zero uses the paper's 1 kHz.
@@ -56,8 +59,10 @@ const (
 )
 
 // ed2Buckets spans the suite's observed ED² range (~1e0 .. ~1e6 J·s²)
-// with two buckets per decade.
-var ed2Buckets = telemetry.ExponentialBuckets(1e-2, 10, 9)
+// with two buckets per decade: upper bounds at 10^0, 10^0.5, …, 10^6
+// (13 edges, factor √10). A factor-10 series would give only one bucket
+// per decade — half the stated resolution.
+var ed2Buckets = telemetry.ExponentialBuckets(1, math.Sqrt(10), 13)
 
 // instruments bundles the session's telemetry handles; the zero value
 // (nil registry) is a no-op.

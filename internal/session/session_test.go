@@ -194,3 +194,30 @@ func TestRunRecordsConfigsFromPolicy(t *testing.T) {
 }
 
 var _ = gpusim.Default // keep import for badPolicy embedding clarity
+
+// TestED2BucketEdges pins the documented histogram resolution: two
+// buckets per decade over ~1e0..1e6, i.e. 13 upper bounds at
+// 10^0, 10^0.5, ..., 10^6. The seed shipped ExponentialBuckets(1e-2,
+// 10, 9) — one bucket per decade over 1e-2..1e6 — half the stated
+// resolution over the wrong range.
+func TestED2BucketEdges(t *testing.T) {
+	if len(ed2Buckets) != 13 {
+		t.Fatalf("ed2Buckets has %d edges, want 13", len(ed2Buckets))
+	}
+	for i, edge := range ed2Buckets {
+		want := math.Pow(10, float64(i)/2)
+		if diff := math.Abs(edge-want) / want; diff > 1e-9 {
+			t.Errorf("edge %d = %v, want 10^%.1f = %v (rel err %g)", i, edge, float64(i)/2, want, diff)
+		}
+	}
+	if ed2Buckets[0] != 1 || math.Abs(ed2Buckets[12]-1e6)/1e6 > 1e-9 {
+		t.Errorf("bucket range [%v, %v], want [1e0, 1e6]", ed2Buckets[0], ed2Buckets[12])
+	}
+	// Adjacent edges differ by a factor of sqrt(10): two per decade.
+	for i := 1; i < len(ed2Buckets); i++ {
+		ratio := ed2Buckets[i] / ed2Buckets[i-1]
+		if math.Abs(ratio-math.Sqrt(10)) > 1e-9 {
+			t.Errorf("edge ratio %d = %v, want sqrt(10)", i, ratio)
+		}
+	}
+}

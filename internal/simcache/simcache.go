@@ -1,0 +1,271 @@
+// Package simcache memoizes the interval simulator. The paper's entire
+// methodology is exhaustive re-simulation: sensitivity training sweeps
+// every kernel across all ~448 hardware configurations, the Section 7
+// oracle re-sweeps the space for every kernel invocation, and every
+// ablation replays the same suite — so the same (kernel, iteration,
+// configuration) triples are evaluated over and over. The simulator is
+// pure, which makes its results perfectly memoizable: a cached run is
+// bit-identical to an uncached one.
+//
+// The cache key covers exactly what gpusim.(*Model).Run reads — the
+// model's calibration constants, every numeric field of the kernel
+// descriptor, the phase resolved for the iteration, and the hardware
+// configuration — so distinct Model calibrations never collide, two
+// kernels that happen to share a name never collide, and iterations that
+// resolve to the same phase share one entry (phase-stable kernels hit
+// the cache after a single iteration).
+//
+// The store is sharded to keep concurrent sweeps from serializing on one
+// lock: each shard has its own RWMutex-guarded map, and the shard is
+// picked by an FNV-1a hash of the kernel name, iteration phase, and
+// configuration.
+//
+// The cache memoizes at two granularities: individual simulation
+// results (Run), and whole sweep decisions (Decision/StoreDecision) —
+// the argmin configuration an oracle's exhaustive search produces for a
+// kernel invocation. The decision level is what makes repeat-invocation
+// sweeps cheap: one lookup instead of re-scoring the entire
+// configuration space.
+package simcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"harmonia/internal/gpusim"
+	"harmonia/internal/hw"
+	"harmonia/internal/power"
+	"harmonia/internal/workloads"
+)
+
+// shardCount is a power of two so shard selection is a mask. 64 shards
+// keep lock contention negligible at sweep-pool concurrency.
+const shardCount = 64
+
+// kernelKey is the comparable projection of a kernel descriptor: every
+// field gpusim.(*Model).Run reads, with the per-iteration phase function
+// resolved to its Phase value (Phase is three float64s and comparable).
+type kernelKey struct {
+	name         string
+	wgSize, wgs  int
+	valu, salu   float64
+	fetch, write float64
+	bpf, bpw     float64
+	vgprs, sgprs int
+	lds          int
+	div, l2hit   float64
+	l2thrash     float64
+	rowhit, mlp  float64
+	serial       float64
+	launch       float64
+	phase        workloads.Phase
+}
+
+// key is one memo entry's identity: model calibration, kernel
+// projection, and hardware configuration. gpusim.Model is a struct of
+// calibration floats, so embedding its value keeps two differently
+// calibrated simulators from ever sharing entries.
+type key struct {
+	model  gpusim.Model
+	kernel kernelKey
+	cfg    hw.Config
+}
+
+// kernelKeyOf resolves the iteration to its phase and projects the
+// kernel onto the comparable key form.
+func kernelKeyOf(k *workloads.Kernel, iter int) kernelKey {
+	phase := k.PhaseFor(iter)
+	return kernelKey{
+		name:   k.Name,
+		wgSize: k.WorkgroupSize, wgs: k.Workgroups,
+		valu: k.VALUPerWI, salu: k.SALUPerWI,
+		fetch: k.FetchPerWI, write: k.WritePerWI,
+		bpf: k.BytesPerFetch, bpw: k.BytesPerWrite,
+		vgprs: k.VGPRs, sgprs: k.SGPRs, lds: k.LDSBytes,
+		div: k.DivergenceFor(phase), l2hit: k.L2Hit,
+		l2thrash: k.L2Thrash,
+		rowhit:   k.RowHit, mlp: k.MLPPerWave,
+		serial: k.SerialCycles,
+		launch: k.LaunchOverhead,
+		phase:  phase,
+	}
+}
+
+func keyOf(m *gpusim.Model, k *workloads.Kernel, iter int, cfg hw.Config) key {
+	return key{model: *m, kernel: kernelKeyOf(k, iter), cfg: cfg}
+}
+
+// shard is one lock-striped slice of the store.
+type shard struct {
+	mu sync.RWMutex
+	m  map[key]gpusim.Result
+}
+
+// decisionKey identifies one exhaustive-sweep argmin: the sweep's
+// output is a pure function of the simulator calibration, the power
+// calibration, the kernel-plus-phase projection, the objective, and the
+// configuration space swept. The space is hw.ConfigSpace() for every
+// oracle; its length is kept as a guard against a future variant
+// sweeping a subset.
+type decisionKey struct {
+	model     gpusim.Model
+	pow       power.Params
+	kernel    kernelKey
+	objective int
+	spaceLen  int
+}
+
+// Cache is a sharded, concurrency-safe memo of simulation results. The
+// zero value is not usable; construct with New. A Cache may back any
+// number of Cached runners over any number of models simultaneously.
+//
+// Beyond per-invocation results the cache holds a second, coarser level:
+// memoized sweep decisions (the argmin configuration of an exhaustive
+// oracle sweep). Per-result memoization cannot beat the analytic
+// interval model on wall-clock — a model evaluation costs about as much
+// as a map probe — but a decision entry replaces an entire ~450-point
+// sweep (simulation, power rails, and pool scheduling) with one lookup,
+// which is where the repeat-invocation speedup comes from.
+type Cache struct {
+	shards [shardCount]shard
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+
+	decMu     sync.RWMutex
+	decisions map[decisionKey]hw.Config
+	decHits   atomic.Uint64
+	decMisses atomic.Uint64
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	c := &Cache{decisions: make(map[decisionKey]hw.Config)}
+	for i := range c.shards {
+		c.shards[i].m = make(map[key]gpusim.Result)
+	}
+	return c
+}
+
+// shardFor hashes the cheap, high-entropy parts of the key (kernel name,
+// phase work scale, configuration) with FNV-1a to pick a shard.
+func (c *Cache) shardFor(k *key) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.kernel.name); i++ {
+		h = (h ^ uint64(k.kernel.name[i])) * prime64
+	}
+	h = (h ^ uint64(k.cfg.Compute.CUs)) * prime64
+	h = (h ^ uint64(k.cfg.Compute.Freq)) * prime64
+	h = (h ^ uint64(k.cfg.Memory.BusFreq)) * prime64
+	h = (h ^ uint64(k.kernel.phase.WorkScale*1024)) * prime64
+	return &c.shards[h&(shardCount-1)]
+}
+
+// Run returns the memoized result of m.Run(k, iter, cfg), simulating
+// and storing it on a miss. Results are bit-identical to the uncached
+// call: on a miss the model's own Run supplies the stored value.
+func (c *Cache) Run(m *gpusim.Model, k *workloads.Kernel, iter int, cfg hw.Config) gpusim.Result {
+	ky := keyOf(m, k, iter, cfg)
+	sh := c.shardFor(&ky)
+	sh.mu.RLock()
+	r, ok := sh.m[ky]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return r
+	}
+	c.misses.Add(1)
+	r = m.Run(k, iter, cfg)
+	sh.mu.Lock()
+	sh.m[ky] = r
+	sh.mu.Unlock()
+	return r
+}
+
+// Decision returns the memoized sweep argmin for the given simulator
+// and power calibrations, kernel invocation, objective, and space size,
+// if one has been stored. Iterations resolving to the same phase share
+// an entry, so a phase-stable kernel pays for one sweep across all its
+// invocations — and across every oracle sharing the cache.
+func (c *Cache) Decision(m *gpusim.Model, pow power.Params, k *workloads.Kernel, iter, objective, spaceLen int) (hw.Config, bool) {
+	dk := decisionKey{
+		model: *m, pow: pow, kernel: kernelKeyOf(k, iter),
+		objective: objective, spaceLen: spaceLen,
+	}
+	c.decMu.RLock()
+	cfg, ok := c.decisions[dk]
+	c.decMu.RUnlock()
+	if ok {
+		c.decHits.Add(1)
+	} else {
+		c.decMisses.Add(1)
+	}
+	return cfg, ok
+}
+
+// StoreDecision records a sweep argmin under the same key Decision
+// reads. The sweep that produced cfg must be deterministic (the sweep
+// layer breaks ties toward the earliest index), so concurrent callers
+// racing to store the same key write the same value.
+func (c *Cache) StoreDecision(m *gpusim.Model, pow power.Params, k *workloads.Kernel, iter, objective, spaceLen int, cfg hw.Config) {
+	dk := decisionKey{
+		model: *m, pow: pow, kernel: kernelKeyOf(k, iter),
+		objective: objective, spaceLen: spaceLen,
+	}
+	c.decMu.Lock()
+	c.decisions[dk] = cfg
+	c.decMu.Unlock()
+}
+
+// Stats reports the lifetime hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// DecisionStats reports the lifetime decision-memo hit and miss counts.
+func (c *Cache) DecisionStats() (hits, misses uint64) {
+	return c.decHits.Load(), c.decMisses.Load()
+}
+
+// Len returns the number of memoized results.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// Cached binds a model to a cache as a gpusim.Runner, the form the
+// session, oracle, and sensitivity layers consume. A nil cache degrades
+// to the raw model.
+type Cached struct {
+	Model *gpusim.Model
+	Cache *Cache
+}
+
+var _ gpusim.Runner = Cached{}
+
+// Run implements gpusim.Runner.
+func (c Cached) Run(k *workloads.Kernel, iter int, cfg hw.Config) gpusim.Result {
+	if c.Cache == nil {
+		return c.Model.Run(k, iter, cfg)
+	}
+	return c.Cache.Run(c.Model, k, iter, cfg)
+}
+
+// For returns a runner that memoizes m through cache; a nil cache
+// returns m itself, so callers can thread an optional cache without
+// branching.
+func For(m *gpusim.Model, cache *Cache) gpusim.Runner {
+	if cache == nil {
+		return m
+	}
+	return Cached{Model: m, Cache: cache}
+}

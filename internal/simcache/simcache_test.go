@@ -1,0 +1,247 @@
+package simcache
+
+import (
+	"sync"
+	"testing"
+
+	"harmonia/internal/gpusim"
+	"harmonia/internal/hw"
+	"harmonia/internal/power"
+	"harmonia/internal/workloads"
+)
+
+func testKernel(t *testing.T, name string) *workloads.Kernel {
+	t.Helper()
+	for _, k := range workloads.AllKernels() {
+		if k.Name == name {
+			return k
+		}
+	}
+	t.Fatalf("kernel %q not in catalog", name)
+	return nil
+}
+
+func TestCachedBitIdenticalToUncached(t *testing.T) {
+	m := gpusim.Default()
+	c := New()
+	k := testKernel(t, "Graph500.BottomStepUp")
+	for _, cfg := range hw.ConfigSpace() {
+		for iter := 0; iter < 4; iter++ {
+			want := m.Run(k, iter, cfg)
+			if got := c.Run(m, k, iter, cfg); got != want {
+				t.Fatalf("cold cache diverged at iter %d cfg %v:\n got %+v\nwant %+v", iter, cfg, got, want)
+			}
+			if got := c.Run(m, k, iter, cfg); got != want {
+				t.Fatalf("warm cache diverged at iter %d cfg %v:\n got %+v\nwant %+v", iter, cfg, got, want)
+			}
+		}
+	}
+}
+
+func TestHitMissAccounting(t *testing.T) {
+	m := gpusim.Default()
+	c := New()
+	k := testKernel(t, "LUD.Internal")
+	cfgs := hw.ConfigSpace()[:10]
+	for _, cfg := range cfgs {
+		c.Run(m, k, 0, cfg)
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != uint64(len(cfgs)) {
+		t.Fatalf("after cold pass: hits=%d misses=%d, want 0/%d", hits, misses, len(cfgs))
+	}
+	for _, cfg := range cfgs {
+		c.Run(m, k, 0, cfg)
+	}
+	if hits, misses := c.Stats(); hits != uint64(len(cfgs)) || misses != uint64(len(cfgs)) {
+		t.Fatalf("after warm pass: hits=%d misses=%d, want %d/%d", hits, misses, len(cfgs), len(cfgs))
+	}
+	if n := c.Len(); n != len(cfgs) {
+		t.Fatalf("Len() = %d, want %d", n, len(cfgs))
+	}
+}
+
+func TestDistinctCalibrationsDoNotCollide(t *testing.T) {
+	m1 := gpusim.Default()
+	m2 := gpusim.Default()
+	// Perturb one calibration constant: same kernel + config must land
+	// in a different cache entry and reproduce the perturbed result.
+	m2.MemLatency *= 2
+	k := testKernel(t, "LUD.Internal")
+	cfg := hw.MaxConfig()
+
+	c := New()
+	r1 := c.Run(m1, k, 0, cfg)
+	r2 := c.Run(m2, k, 0, cfg)
+	if r1 == r2 {
+		t.Fatal("distinct calibrations returned identical results — likely a key collision")
+	}
+	if want := m2.Run(k, 0, cfg); r2 != want {
+		t.Fatalf("perturbed model's cached result wrong:\n got %+v\nwant %+v", r2, want)
+	}
+	if hits, _ := c.Stats(); hits != 0 {
+		t.Fatalf("second model hit the first model's entry (%d hits)", hits)
+	}
+}
+
+func TestSameNameDifferentKernelsDoNotCollide(t *testing.T) {
+	a := workloads.NewKernel("Twin").MustBuild()
+	b := workloads.NewKernel("Twin").Compute(a.VALUPerWI*4, a.SALUPerWI).MustBuild()
+	m := gpusim.Default()
+	c := New()
+	cfg := hw.MaxConfig()
+	ra := c.Run(m, a, 0, cfg)
+	rb := c.Run(m, b, 0, cfg)
+	if wa := m.Run(a, 0, cfg); ra != wa {
+		t.Fatalf("kernel a: got %+v want %+v", ra, wa)
+	}
+	if wb := m.Run(b, 0, cfg); rb != wb {
+		t.Fatalf("kernel b collided with a: got %+v want %+v", rb, wb)
+	}
+}
+
+func TestPhaseStableIterationsShareEntries(t *testing.T) {
+	// LUD.Internal has no phase function: every iteration resolves to
+	// the same Phase, so iterations beyond the first must hit.
+	m := gpusim.Default()
+	c := New()
+	k := testKernel(t, "LUD.Internal")
+	cfg := hw.MaxConfig()
+	c.Run(m, k, 0, cfg)
+	c.Run(m, k, 1, cfg)
+	c.Run(m, k, 7, cfg)
+	if hits, misses := c.Stats(); hits != 2 || misses != 1 {
+		t.Fatalf("phase-stable kernel: hits=%d misses=%d, want 2/1", hits, misses)
+	}
+
+	// Graph500.BottomStepUp is phase-varying: different iterations must
+	// not share entries (and must reproduce per-iteration results).
+	k2 := testKernel(t, "Graph500.BottomStepUp")
+	r0 := c.Run(m, k2, 0, cfg)
+	r1 := c.Run(m, k2, 1, cfg)
+	if r0 == r1 {
+		t.Fatal("phase-varying iterations returned identical results")
+	}
+	if want := m.Run(k2, 1, cfg); r1 != want {
+		t.Fatalf("iter 1: got %+v want %+v", r1, want)
+	}
+}
+
+func TestConcurrentMixedSweep(t *testing.T) {
+	// Many goroutines sweep overlapping (kernel, iter, config) triples
+	// through one cache; run under -race. Every returned result must
+	// equal the raw model's.
+	m := gpusim.Default()
+	c := New()
+	kernels := workloads.AllKernels()[:6]
+	space := hw.ConfigSpace()[:40]
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for pass := 0; pass < 2; pass++ {
+				for ki, k := range kernels {
+					for ci, cfg := range space {
+						iter := (g + ki + ci) % 3
+						got := c.Run(m, k, iter, cfg)
+						if want := m.Run(k, iter, cfg); got != want {
+							select {
+							case errs <- k.Name:
+							default:
+							}
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if name, bad := <-errs; bad {
+		t.Fatalf("concurrent cached result diverged for kernel %s", name)
+	}
+	hits, misses := c.Stats()
+	if hits+misses == 0 || misses == 0 {
+		t.Fatalf("implausible stats: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestForNilCacheReturnsModel(t *testing.T) {
+	m := gpusim.Default()
+	if r := For(m, nil); r != gpusim.Runner(m) {
+		t.Fatalf("For(m, nil) = %T, want the model itself", r)
+	}
+	c := New()
+	cached, ok := For(m, c).(Cached)
+	if !ok || cached.Model != m || cached.Cache != c {
+		t.Fatalf("For(m, c) = %#v, want Cached{m, c}", cached)
+	}
+	// Cached with a nil cache degrades to the raw model.
+	k := testKernel(t, "LUD.Internal")
+	raw := Cached{Model: m}
+	if got, want := raw.Run(k, 0, hw.MaxConfig()), m.Run(k, 0, hw.MaxConfig()); got != want {
+		t.Fatalf("nil-cache Cached diverged: %+v vs %+v", got, want)
+	}
+}
+
+func TestDecisionMemoRoundTrip(t *testing.T) {
+	m := gpusim.Default()
+	pp := power.DefaultParams()
+	k := testKernel(t, "LUD.Internal")
+	c := New()
+
+	if _, ok := c.Decision(m, pp, k, 0, 0, 448); ok {
+		t.Fatal("empty cache returned a decision")
+	}
+	want := hw.MaxConfig()
+	c.StoreDecision(m, pp, k, 0, 0, 448, want)
+	got, ok := c.Decision(m, pp, k, 0, 0, 448)
+	if !ok || got != want {
+		t.Fatalf("Decision = %v, %v; want %v, true", got, ok, want)
+	}
+	// Phase-stable kernel: a later iteration resolves to the same phase
+	// and therefore the same entry.
+	if got, ok := c.Decision(m, pp, k, 5, 0, 448); !ok || got != want {
+		t.Fatalf("iter 5 Decision = %v, %v; want shared entry", got, ok)
+	}
+	if hits, misses := c.DecisionStats(); hits != 2 || misses != 1 {
+		t.Fatalf("DecisionStats = %d/%d, want 2 hits, 1 miss", hits, misses)
+	}
+}
+
+func TestDecisionMemoKeySeparation(t *testing.T) {
+	m := gpusim.Default()
+	pp := power.DefaultParams()
+	k := testKernel(t, "LUD.Internal")
+	c := New()
+	c.StoreDecision(m, pp, k, 0, 0, 448, hw.MaxConfig())
+
+	// A different objective, space size, power calibration, or simulator
+	// calibration must not see the entry.
+	if _, ok := c.Decision(m, pp, k, 0, 1, 448); ok {
+		t.Error("different objective shared a decision")
+	}
+	if _, ok := c.Decision(m, pp, k, 0, 0, 447); ok {
+		t.Error("different space size shared a decision")
+	}
+	pp2 := pp
+	pp2.OtherW *= 2
+	if _, ok := c.Decision(m, pp2, k, 0, 0, 448); ok {
+		t.Error("different power calibration shared a decision")
+	}
+	m2 := gpusim.Default()
+	m2.MemLatency *= 2
+	if _, ok := c.Decision(m2, pp, k, 0, 0, 448); ok {
+		t.Error("different simulator calibration shared a decision")
+	}
+	// Phase-varying kernel: iterations in different phases must not
+	// share decisions.
+	kv := testKernel(t, "Graph500.BottomStepUp")
+	c.StoreDecision(m, pp, kv, 0, 0, 448, hw.MaxConfig())
+	if _, ok := c.Decision(m, pp, kv, 1, 0, 448); ok {
+		t.Error("phase-varying iterations shared a decision")
+	}
+}

@@ -5,81 +5,55 @@
 // explorations of Section 3 — and the simulator is pure, so the sweeps
 // parallelize perfectly across a worker pool.
 //
-// All functions are deterministic: results are assembled in input order
-// and minima are resolved to the earliest index, so parallel and serial
-// execution produce identical answers.
+// The pool itself is internal/batch's deterministic bounded-worker
+// runner: results are assembled in input order and minima are resolved
+// to the earliest index, so parallel and serial execution produce
+// identical answers.
 package sweep
 
 import (
-	"runtime"
-	"sync"
+	"context"
+	"math"
 
+	"harmonia/internal/batch"
 	"harmonia/internal/hw"
 )
 
 // Eval scores one configuration.
 type Eval func(cfg hw.Config) float64
 
-// workersOrDefault clamps the worker count.
-func workersOrDefault(workers, n int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
-}
-
 // Map evaluates eval at every configuration in space, in parallel,
 // returning values in input order.
 func Map(space []hw.Config, workers int, eval Eval) []float64 {
-	out := make([]float64, len(space))
-	if len(space) == 0 {
-		return out
-	}
-	workers = workersOrDefault(workers, len(space))
-	if workers == 1 {
-		for i, cfg := range space {
-			out[i] = eval(cfg)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = eval(space[i])
-			}
-		}()
-	}
-	for i := range space {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	out, _ := batch.Map(context.Background(), workers, space,
+		func(_ context.Context, _ int, cfg hw.Config) (float64, error) {
+			return eval(cfg), nil
+		})
 	return out
 }
 
 // Min returns the configuration with the smallest value and that value,
-// ties resolved to the earliest configuration in space. It returns false
-// when space is empty.
+// ties resolved to the earliest configuration in space. Non-finite
+// values (NaN, ±Inf) never win: NaN compares false against everything,
+// so a single NaN early in the sweep would otherwise poison the whole
+// minimum. It returns false when space is empty or no configuration
+// evaluates to a finite value.
 func Min(space []hw.Config, workers int, eval Eval) (hw.Config, float64, bool) {
 	if len(space) == 0 {
 		return hw.Config{}, 0, false
 	}
 	vals := Map(space, workers, eval)
-	bestI := 0
+	bestI := -1
 	for i, v := range vals {
-		if v < vals[bestI] {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if bestI < 0 || v < vals[bestI] {
 			bestI = i
 		}
+	}
+	if bestI < 0 {
+		return hw.Config{}, 0, false
 	}
 	return space[bestI], vals[bestI], true
 }

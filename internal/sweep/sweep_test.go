@@ -142,3 +142,46 @@ func BenchmarkSweepParallel(b *testing.B) {
 		Map(space, 0, eval)
 	}
 }
+
+// Regression tests for NaN poisoning: v < best compares false for NaN,
+// so a non-finite value early in the sweep must not lock out every
+// later finite one, and non-finite values must never win.
+func TestMinSkipsNonFinite(t *testing.T) {
+	space := hw.ConfigSpace()[:6]
+	cases := []struct {
+		name  string
+		vals  []float64
+		wantI int
+		ok    bool
+	}{
+		{"nan-first", []float64{math.NaN(), 5, 3, 4, 9, 7}, 2, true},
+		{"nan-mixed", []float64{6, math.NaN(), 2, math.NaN(), 1, math.NaN()}, 4, true},
+		{"inf-mixed", []float64{math.Inf(1), 8, math.Inf(-1), 4, 5, 6}, 3, true},
+		{"all-nan", []float64{math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN()}, 0, false},
+		{"all-nonfinite", []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.NaN(), math.Inf(1), math.NaN()}, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			idx := make(map[hw.Config]int, len(space))
+			for i, cfg := range space {
+				idx[cfg] = i
+			}
+			for _, workers := range []int{1, 4} {
+				cfg, val, ok := Min(space, workers, func(c hw.Config) float64 { return tc.vals[idx[c]] })
+				if ok != tc.ok {
+					t.Fatalf("workers=%d: ok=%v, want %v", workers, ok, tc.ok)
+				}
+				if !tc.ok {
+					if cfg != (hw.Config{}) || val != 0 {
+						t.Fatalf("workers=%d: all-non-finite must return zero values, got %v %v", workers, cfg, val)
+					}
+					continue
+				}
+				if cfg != space[tc.wantI] || val != tc.vals[tc.wantI] {
+					t.Fatalf("workers=%d: Min = %v (%v), want index %d (%v)",
+						workers, cfg, val, tc.wantI, tc.vals[tc.wantI])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,52 @@
+#!/bin/sh
+# Benchmark gate for the simulation memo and the batch engine. Runs the
+# infrastructure benchmarks from bench_test.go, emits the headline
+# numbers as BENCH_sweep.json (the repo's benchmark data points are
+# BENCH_*.json files at the root), and fails if the memoized oracle
+# sweep is not at least 5x faster than the uncached sweep.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_sweep.json}"
+
+# Repeat-invocation oracle sweeps: many fast iterations for a stable
+# ns/op. The suite pair rebuilds a full environment per iteration, so a
+# single timed iteration is what a cold suite run costs.
+oracle="$(go test -run '^$' -bench 'BenchmarkOracleSweep(Uncached|Cached)$' -benchtime 50x .)"
+suite="$(go test -run '^$' -bench 'BenchmarkSuite(Serial|Parallel)$' -benchtime 1x .)"
+
+uncached="$(printf '%s\n' "$oracle" | awk '$1 ~ /^BenchmarkOracleSweepUncached/ {print $3}')"
+cached="$(printf '%s\n' "$oracle" | awk '$1 ~ /^BenchmarkOracleSweepCached/ {print $3}')"
+serial="$(printf '%s\n' "$suite" | awk '$1 ~ /^BenchmarkSuiteSerial/ {print $3}')"
+parallel="$(printf '%s\n' "$suite" | awk '$1 ~ /^BenchmarkSuiteParallel/ {print $3}')"
+
+if [ -z "$uncached" ] || [ -z "$cached" ] || [ -z "$serial" ] || [ -z "$parallel" ]; then
+	echo "bench.sh: failed to parse benchmark output" >&2
+	printf '%s\n%s\n' "$oracle" "$suite" >&2
+	exit 1
+fi
+
+awk -v u="$uncached" -v c="$cached" -v s="$serial" -v p="$parallel" -v out="$out" '
+BEGIN {
+	osp = u / c
+	ssp = s / p
+	printf "{\n" > out
+	printf "  \"benchmark\": \"sweep\",\n" >> out
+	printf "  \"oracle_sweep\": {\n" >> out
+	printf "    \"uncached_ns_op\": %.0f,\n", u >> out
+	printf "    \"cached_ns_op\": %.0f,\n", c >> out
+	printf "    \"speedup\": %.2f\n", osp >> out
+	printf "  },\n" >> out
+	printf "  \"suite\": {\n" >> out
+	printf "    \"serial_ns_op\": %.0f,\n", s >> out
+	printf "    \"parallel_ns_op\": %.0f,\n", p >> out
+	printf "    \"speedup\": %.2f\n", ssp >> out
+	printf "  }\n" >> out
+	printf "}\n" >> out
+	printf "oracle sweep: %.0f ns/op uncached, %.0f ns/op cached (%.1fx)\n", u, c, osp
+	printf "suite run:    %.0f ns/op serial, %.0f ns/op parallel (%.1fx)\n", s, p, ssp
+	if (osp < 5) {
+		printf "bench.sh: cached oracle sweep speedup %.2fx is below the 5x gate\n", osp > "/dev/stderr"
+		exit 1
+	}
+}'
+echo "wrote $out"

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Pre-commit gate: formatting, build, vet, race-detector test run, and a
-# focused race pass over the concurrent service layer.
+# Pre-commit gate: formatting, build, vet, race-detector test run, a
+# focused race pass over the concurrent service layer, and the
+# benchmark gate (simulation-memo speedup, BENCH_sweep.json).
 set -eux
 cd "$(dirname "$0")/.."
 unformatted="$(gofmt -l .)"
@@ -13,3 +14,4 @@ go build ./...
 go vet ./...
 go test -race ./...
 go test -race -count=1 ./internal/serve/... ./internal/telemetry/...
+sh scripts/bench.sh

@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz serve fmt-check
+.PHONY: check build vet test race bench fuzz serve fmt-check lint
 
-# The full pre-commit gate: formatting, build, vet, and the test suite
-# under the race detector.
-check: fmt-check build vet race
+# The full pre-commit gate: formatting, build, vet, the domain linters,
+# and the test suite under the race detector.
+check: fmt-check build vet lint race
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \
@@ -17,6 +17,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Domain-specific static analysis (see DESIGN.md §10): determinism,
+# hardware-envelope, lock-scope, float-equality, and error-drop checks.
+# -werror also fails on malformed //lint:ignore directives.
+lint:
+	$(GO) run ./cmd/harmonia-lint -werror ./...
 
 test:
 	$(GO) test ./...

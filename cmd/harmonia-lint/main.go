@@ -1,0 +1,176 @@
+// Command harmonia-lint runs the repo's domain-specific static
+// analyzers (internal/lint) over module packages and reports invariant
+// violations with file:line:col positions.
+//
+// Usage:
+//
+//	harmonia-lint [flags] [packages]
+//
+// Packages default to ./... (the whole module containing the working
+// directory); explicit arguments name package directories. Flags:
+//
+//	-checks a,b   run only the named checks (default: all five)
+//	-json         emit the stable JSON report instead of text
+//	-werror       treat warnings (malformed suppressions) as errors
+//	-list         print the available checks and exit
+//
+// The exit status is 1 when any error-severity finding survives
+// suppression (or any warning, under -werror), 2 on usage or load
+// failure, and 0 otherwise. Suppress an individual finding with a
+// trailing or preceding comment:
+//
+//	//lint:ignore <check> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"harmonia/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("harmonia-lint", flag.ContinueOnError)
+	var (
+		checks  = fs.String("checks", "", "comma-separated checks to run (default all)")
+		asJSON  = fs.Bool("json", false, "emit the stable JSON report")
+		werror  = fs.Bool("werror", false, "treat warnings as errors")
+		list    = fs.Bool("list", false, "list available checks and exit")
+		rootDir = fs.String("root", "", "module root (default: found from the working directory)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := lint.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+	selected, err := lint.Select(all, *checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "harmonia-lint:", err)
+		return 2
+	}
+
+	root := *rootDir
+	if root == "" {
+		cwd, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "harmonia-lint:", err)
+			return 2
+		}
+		root, err = lint.FindModuleRoot(cwd)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "harmonia-lint:", err)
+			return 2
+		}
+	}
+
+	loader := lint.NewLoader(root)
+	pkgs, err := loadPatterns(loader, root, fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "harmonia-lint:", err)
+		return 2
+	}
+
+	diags := lint.Run(pkgs, selected, lint.DefaultPolicy())
+
+	names := make([]string, len(selected))
+	for i, a := range selected {
+		names[i] = a.Name()
+	}
+	rep := lint.NewReport(root, names, diags)
+	if *asJSON {
+		if err := lint.WriteJSON(os.Stdout, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "harmonia-lint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range rep.Findings {
+			fmt.Printf("%s:%d:%d: %s: [%s] %s\n", f.File, f.Line, f.Col, f.Severity, f.Check, f.Message)
+		}
+		if rep.Errors+rep.Warnings > 0 {
+			fmt.Printf("harmonia-lint: %d error(s), %d warning(s)\n", rep.Errors, rep.Warnings)
+		}
+	}
+
+	if rep.Errors > 0 || (*werror && rep.Warnings > 0) {
+		return 1
+	}
+	return 0
+}
+
+// loadPatterns resolves command-line package arguments. "./..." (or no
+// arguments) loads the whole module; other arguments name package
+// directories, with a trailing "/..." loading the subtree.
+func loadPatterns(loader *lint.Loader, root string, args []string) ([]*lint.Package, error) {
+	if len(args) == 0 {
+		return loader.LoadModule()
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(ds ...string) {
+		for _, d := range ds {
+			if abs, err := filepath.Abs(d); err == nil {
+				d = abs
+			}
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			return loader.LoadModule()
+		}
+		if dir, ok := strings.CutSuffix(arg, "/..."); ok {
+			sub, err := subdirsWithGo(dir)
+			if err != nil {
+				return nil, err
+			}
+			add(sub...)
+			continue
+		}
+		add(arg)
+	}
+	return loader.LoadDirs(dirs...)
+}
+
+func subdirsWithGo(dir string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				out = append(out, path)
+				break
+			}
+		}
+		return nil
+	})
+	return out, err
+}

@@ -123,6 +123,7 @@ func main() {
 	// worker count), through the Lab's simulation memo when -cache is on.
 	space := hw.ConfigSpace()
 	runner := lab.Runner()
+	//lint:ignore errdrop the eval closure never errors and the background context is never canceled
 	samples, _ := batch.Map(context.Background(), *workers, space,
 		func(_ context.Context, _ int, cfg harmonia.Config) (metrics.Sample, error) {
 			r := runner.Run(kernel, 0, cfg)

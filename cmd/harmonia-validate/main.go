@@ -35,10 +35,10 @@ func main() {
 	}
 	configs := []hw.Config{
 		hw.MaxConfig(),
-		{Compute: hw.ComputeConfig{CUs: 32, Freq: 1000}, Memory: hw.MemConfig{BusFreq: 475}},
-		{Compute: hw.ComputeConfig{CUs: 32, Freq: 300}, Memory: hw.MemConfig{BusFreq: 1375}},
-		{Compute: hw.ComputeConfig{CUs: 8, Freq: 1000}, Memory: hw.MemConfig{BusFreq: 1375}},
-		{Compute: hw.ComputeConfig{CUs: 16, Freq: 600}, Memory: hw.MemConfig{BusFreq: 925}},
+		{Compute: hw.ComputeConfig{CUs: hw.MaxCUs, Freq: hw.MaxCUFreq}, Memory: hw.MemConfig{BusFreq: hw.MinMemFreq}},
+		{Compute: hw.ComputeConfig{CUs: hw.MaxCUs, Freq: hw.MinCUFreq}, Memory: hw.MemConfig{BusFreq: hw.MaxMemFreq}},
+		hw.NewConfig(8, hw.MaxCUFreq, hw.MaxMemFreq),
+		hw.NewConfig(16, 600, 925),
 	}
 
 	fmt.Printf("%-24s %-36s %12s %12s %7s\n", "kernel", "config", "event (ms)", "interval", "ratio")

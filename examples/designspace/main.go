@@ -73,7 +73,7 @@ func main() {
 		for _, f := range []harmonia.MHz{300, 600, 1000} {
 			cfg := harmonia.Config{
 				Compute: harmonia.ComputeConfig{CUs: n, Freq: f},
-				Memory:  harmonia.MemConfig{BusFreq: 1375},
+				Memory:  harmonia.MaxConfig().Memory,
 			}
 			t := sys.Sim.Run(kernel, 0, cfg).Time
 			p := pt{x: cfg.OpsPerByte() / baseOPB, perf: baseTime / t}

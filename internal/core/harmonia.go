@@ -875,10 +875,17 @@ type Snapshot struct {
 	Bins   sensitivity.Bins
 }
 
-// Snapshots returns the current state for every kernel seen so far.
+// Snapshots returns the current state for every kernel seen so far, in
+// kernel-name order.
 func (c *Controller) Snapshots() []Snapshot {
-	out := make([]Snapshot, 0, len(c.kernels))
-	for name, st := range c.kernels {
+	names := make([]string, 0, len(c.kernels))
+	for name := range c.kernels {
+		names = append(names, name) //lint:ignore nondeterminism keys are sorted before use
+	}
+	sort.Strings(names)
+	out := make([]Snapshot, 0, len(names))
+	for _, name := range names {
+		st := c.kernels[name]
 		out = append(out, Snapshot{Kernel: name, Config: st.next, Bins: st.bins})
 	}
 	return out

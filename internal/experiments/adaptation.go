@@ -72,7 +72,7 @@ type Residency map[int]float64
 func (r Residency) SortedStates() []int {
 	out := make([]int, 0, len(r))
 	for v := range r {
-		out = append(out, v)
+		out = append(out, v) //lint:ignore nondeterminism states are sorted before use
 	}
 	sort.Ints(out)
 	return out

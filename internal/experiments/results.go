@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"harmonia/internal/batch"
+	"harmonia/internal/floats"
 	"harmonia/internal/metrics"
 	"harmonia/internal/policy"
 	"harmonia/internal/sensitivity"
@@ -44,7 +45,7 @@ func (a AppResult) PowerGain(s metrics.Sample) float64 {
 // Slowdown returns the fractional execution-time increase over baseline
 // (negative = performance gain).
 func (a AppResult) Slowdown(s metrics.Sample) float64 {
-	if a.Baseline.Seconds == 0 {
+	if floats.Zero(a.Baseline.Seconds) {
 		return 0
 	}
 	return s.Seconds/a.Baseline.Seconds - 1

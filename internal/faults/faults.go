@@ -9,10 +9,15 @@
 // The injector sits between the session and the policy (see
 // internal/session): the simulator always runs the configuration the
 // hardware actually reached and the report records true time and energy,
-// while the policy sees the faulted view. All randomness flows from a
-// single seeded source in deterministic call order, so a given
-// (Config, workload, policy) triple replays the same fault sequence
-// run after run.
+// while the policy sees the faulted view. All randomness derives from
+// the single configured seed, split into one sub-stream per fault class
+// (transition latching, thermal throttle, counter drop, counter noise,
+// DAQ dropout). Each path draws only from its own stream in
+// deterministic call order, so a given (Config, workload, policy)
+// triple replays the same fault sequence run after run — and the
+// per-sample DAQ draws, which fire thousands of times per kernel,
+// cannot shift the kernel-boundary fault sequence when the sampling
+// rate or trace length changes.
 package faults
 
 import (
@@ -144,7 +149,16 @@ func (c Config) throttleDuration() int {
 // the same Config replay the same fault sequence.
 type Injector struct {
 	cfg Config
-	rng *rand.Rand
+
+	// One seeded sub-stream per fault class, all derived from cfg.Seed
+	// (see subSeed). Keeping the streams separate means the number of
+	// draws on one path — most importantly the per-sample daqRNG —
+	// cannot perturb the sequences the other paths produce.
+	transRNG    *rand.Rand // transition-latch failures
+	throttleRNG *rand.Rand // thermal-throttle onsets
+	dropRNG     *rand.Rand // monitoring-sample drops
+	noiseRNG    *rand.Rand // counter-noise Gaussians
+	daqRNG      *rand.Rand // DAQ trace-sample dropout
 
 	haveApplied  bool
 	applied      hw.Config // configuration the hardware last latched
@@ -158,12 +172,40 @@ type Injector struct {
 	stuck, throttles, staleSamples, daqDrops int
 }
 
+// Fault-class identifiers for subSeed. The values are arbitrary but
+// frozen: changing them changes every replayed fault sequence.
+const (
+	classTransition = 1
+	classThrottle   = 2
+	classDrop       = 3
+	classNoise      = 4
+	classDAQ        = 5
+)
+
+// subSeed derives the seed for one fault class's sub-stream from the
+// injector seed using the SplitMix64 finalizer, so adjacent seeds and
+// adjacent classes still yield uncorrelated streams.
+func subSeed(seed int64, class uint64) int64 {
+	z := uint64(seed) ^ (class * 0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+func stream(seed int64, class uint64) *rand.Rand {
+	return rand.New(rand.NewSource(subSeed(seed, class)))
+}
+
 // New returns an injector for the given fault configuration.
 func New(cfg Config) *Injector {
 	return &Injector{
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		lastObs: make(map[string]gpusim.Result),
+		cfg:         cfg,
+		transRNG:    stream(cfg.Seed, classTransition),
+		throttleRNG: stream(cfg.Seed, classThrottle),
+		dropRNG:     stream(cfg.Seed, classDrop),
+		noiseRNG:    stream(cfg.Seed, classNoise),
+		daqRNG:      stream(cfg.Seed, classDAQ),
+		lastObs:     make(map[string]gpusim.Result),
 	}
 }
 
@@ -193,7 +235,7 @@ func (in *Injector) ApplyConfig(commanded hw.Config) hw.Config {
 		in.stickLeft--
 		actual = in.applied
 	case commanded != in.applied && in.cfg.TransitionFailRate > 0 &&
-		in.rng.Float64() < in.cfg.TransitionFailRate:
+		in.transRNG.Float64() < in.cfg.TransitionFailRate:
 		in.stuck++
 		in.stickLeft = in.cfg.stick() - 1
 		actual = in.applied
@@ -206,7 +248,7 @@ func (in *Injector) ApplyConfig(commanded hw.Config) hw.Config {
 	if in.throttleLeft > 0 {
 		in.throttleLeft--
 		actual = in.throttle(actual)
-	} else if in.cfg.ThrottleRate > 0 && in.rng.Float64() < in.cfg.ThrottleRate {
+	} else if in.cfg.ThrottleRate > 0 && in.throttleRNG.Float64() < in.cfg.ThrottleRate {
 		in.throttles++
 		in.throttleLeft = in.cfg.throttleDuration() - 1
 		actual = in.throttle(actual)
@@ -225,7 +267,7 @@ func (in *Injector) throttle(c hw.Config) hw.Config {
 // multiplicative Gaussian noise on the event-derived fields. The
 // DPM-state registers and the echoed configuration stay exact.
 func (in *Injector) Observation(kernel string, res gpusim.Result) gpusim.Result {
-	if in.cfg.CounterDropRate > 0 && in.rng.Float64() < in.cfg.CounterDropRate {
+	if in.cfg.CounterDropRate > 0 && in.dropRNG.Float64() < in.cfg.CounterDropRate {
 		if prev, ok := in.lastObs[kernel]; ok {
 			in.staleSamples++
 			return prev
@@ -233,7 +275,7 @@ func (in *Injector) Observation(kernel string, res gpusim.Result) gpusim.Result 
 	}
 	out := res
 	if sigma := in.cfg.CounterNoise; sigma > 0 {
-		noisy := func(v float64) float64 { return v * (1 + sigma*in.rng.NormFloat64()) }
+		noisy := func(v float64) float64 { return v * (1 + sigma*in.noiseRNG.NormFloat64()) }
 		pct := func(v float64) float64 { return math.Max(0, math.Min(100, noisy(v))) }
 		frac := func(v float64) float64 { return math.Max(0, math.Min(1, noisy(v))) }
 		cs := out.Counters
@@ -257,7 +299,7 @@ func (in *Injector) Observation(kernel string, res gpusim.Result) gpusim.Result 
 // DropDAQSample reports whether the next DAQ sample is lost from the
 // recorded trace. It is wired into the recorder's drop hook.
 func (in *Injector) DropDAQSample() bool {
-	if in.cfg.DAQDropRate <= 0 || in.rng.Float64() >= in.cfg.DAQDropRate {
+	if in.cfg.DAQDropRate <= 0 || in.daqRNG.Float64() >= in.cfg.DAQDropRate {
 		return false
 	}
 	in.daqDrops++

@@ -181,6 +181,55 @@ func TestScaleAndProfile(t *testing.T) {
 	}
 }
 
+// TestDAQDrawsDoNotShiftKernelFaults verifies the per-class RNG
+// sub-streams: interleaving any number of DAQ-dropout draws between
+// kernel boundaries must leave the transition/throttle outcomes and the
+// noisy observations untouched. With a single shared stream, changing
+// the DAQ sampling rate (thousands of draws per kernel) would silently
+// reshuffle every other fault sequence.
+func TestDAQDrawsDoNotShiftKernelFaults(t *testing.T) {
+	run := func(daqDrawsPerBoundary int) ([]hw.Config, []float64) {
+		in := New(Profile(42, 1))
+		cfg := hw.MaxConfig()
+		var cfgs []hw.Config
+		var vb []float64
+		for i := 0; i < 100; i++ {
+			cmd := hw.TunableMemFreq.WithLevel(cfg, i%7)
+			actual := in.ApplyConfig(cmd)
+			cfgs = append(cfgs, actual)
+			obs := in.Observation("k", sampleResult(t, actual))
+			vb = append(vb, obs.Counters.VALUBusy)
+			for j := 0; j < daqDrawsPerBoundary; j++ {
+				in.DropDAQSample()
+			}
+		}
+		return cfgs, vb
+	}
+	c1, v1 := run(0)
+	c2, v2 := run(37)
+	for i := range c1 {
+		if c1[i] != c2[i] || v1[i] != v2[i] {
+			t.Fatalf("DAQ draws shifted kernel-boundary faults at %d: %v/%v %v/%v",
+				i, c1[i], c2[i], v1[i], v2[i])
+		}
+	}
+}
+
+// TestSubSeedStreamsDistinct guards the stream derivation: every fault
+// class must get its own seed, for any injector seed.
+func TestSubSeedStreamsDistinct(t *testing.T) {
+	for _, seed := range []int64{0, 1, -1, 42, 1 << 40} {
+		seen := map[int64]uint64{}
+		for class := uint64(classTransition); class <= classDAQ; class++ {
+			s := subSeed(seed, class)
+			if prev, dup := seen[s]; dup {
+				t.Errorf("seed %d: classes %d and %d collide on sub-seed %d", seed, prev, class, s)
+			}
+			seen[s] = class
+		}
+	}
+}
+
 func TestDAQDropRate(t *testing.T) {
 	in := New(Config{Seed: 13, DAQDropRate: 0.5})
 	drops := 0

@@ -1,0 +1,39 @@
+// Package floats holds the module's approved floating-point comparison
+// helpers. The floateq analyzer (internal/lint) forbids raw == and !=
+// on float operands everywhere else: NaN compares false against
+// everything, which is how the sweep.Min poisoning bug entered — a
+// single NaN silently fell through every equality- and ordering-guarded
+// path. Code that genuinely needs a float comparison routes it through
+// one of these helpers, which document intent and handle NaN
+// explicitly. The default lint policy exempts this package.
+package floats
+
+import "math"
+
+// Equal reports exact value equality, with NaN equal to NaN. It is the
+// bit-identical-replay comparison: two deterministic runs must agree
+// even on poisoned values.
+func Equal(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return a == b
+}
+
+// Zero reports whether v is exactly zero (either sign). NaN is not
+// zero.
+func Zero(v float64) bool {
+	return v == 0
+}
+
+// Within reports |a-b| <= tol. NaN operands are never within any
+// tolerance of anything; equal infinities are within every tolerance.
+func Within(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}

@@ -1,0 +1,53 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqual(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 1, true},
+		{1, 2, false},
+		{0, math.Copysign(0, -1), true}, // -0 == +0
+		{nan, nan, true},
+		{nan, 1, false},
+		{1, nan, false},
+		{inf, inf, true},
+		{inf, -inf, false},
+	}
+	for _, c := range cases {
+		if got := Equal(c.a, c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !Zero(0) || !Zero(math.Copysign(0, -1)) {
+		t.Error("Zero should accept both signed zeros")
+	}
+	if Zero(math.NaN()) || Zero(1e-300) {
+		t.Error("Zero must reject NaN and nonzero values")
+	}
+}
+
+func TestWithin(t *testing.T) {
+	if !Within(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("Within should accept values inside tolerance")
+	}
+	if Within(1.0, 1.1, 1e-9) {
+		t.Error("Within should reject values outside tolerance")
+	}
+	if Within(math.NaN(), math.NaN(), math.Inf(1)) {
+		t.Error("NaN is never within tolerance")
+	}
+	if !Within(math.Inf(1), math.Inf(1), 0) {
+		t.Error("equal infinities are within every tolerance")
+	}
+}

@@ -1,0 +1,41 @@
+package hw
+
+import "testing"
+
+func TestNewConfigSnapsToGrid(t *testing.T) {
+	cases := []struct {
+		cus           int
+		cuF, memF     MHz
+		wantCUs       int
+		wantF, wantMF MHz
+	}{
+		{16, 700, 925, 16, 700, 925},   // already on grid
+		{17, 749, 930, 16, 700, 925},   // rounds down
+		{18, 751, 1000, 20, 800, 1075}, // rounds up (18 is midpoint, rounds up)
+		{0, 0, 0, MinCUs, MinCUFreq, MinMemFreq},
+		{100, 5000, 5000, MaxCUs, MaxCUFreq, MaxMemFreq},
+		{-4, -100, -100, MinCUs, MinCUFreq, MinMemFreq},
+	}
+	for _, c := range cases {
+		got := NewConfig(c.cus, c.cuF, c.memF)
+		if !got.Valid() {
+			t.Errorf("NewConfig(%d, %v, %v) = %v, not valid", c.cus, c.cuF, c.memF, got)
+		}
+		want := Config{
+			Compute: ComputeConfig{CUs: c.wantCUs, Freq: c.wantF},
+			Memory:  MemConfig{BusFreq: c.wantMF},
+		}
+		if got != want {
+			t.Errorf("NewConfig(%d, %v, %v) = %v, want %v", c.cus, c.cuF, c.memF, got, want)
+		}
+	}
+}
+
+func TestNewConfigCoversWholeSpace(t *testing.T) {
+	for _, cfg := range ConfigSpace() {
+		got := NewConfig(cfg.Compute.CUs, cfg.Compute.Freq, cfg.Memory.BusFreq)
+		if got != cfg {
+			t.Fatalf("NewConfig is not the identity on grid point %v: got %v", cfg, got)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureLoader shares one loader (and its type-checked dependency
+// graph) across every fixture test in the package.
+var (
+	loaderOnce sync.Once
+	fixLoader  *Loader
+	fixRoot    string
+	loaderErr  error
+)
+
+func fixtureEnv(t *testing.T) (*Loader, string) {
+	t.Helper()
+	loaderOnce.Do(func() {
+		fixRoot, loaderErr = FindModuleRoot(".")
+		if loaderErr != nil {
+			return
+		}
+		fixLoader = NewLoader(fixRoot)
+	})
+	if loaderErr != nil {
+		t.Fatalf("finding module root: %v", loaderErr)
+	}
+	return fixLoader, fixRoot
+}
+
+func fixtureDir(root, name string) string {
+	return filepath.Join(root, "internal", "lint", "testdata", "src", name)
+}
+
+func fixturePath(name string) string {
+	return ModulePath + "/internal/lint/testdata/src/" + name
+}
+
+// renderDiags formats diagnostics with fixture-relative paths so golden
+// files are checkout-independent.
+func renderDiags(root string, diags []Diagnostic) string {
+	base := filepath.Join(root, "internal", "lint", "testdata", "src")
+	var buf bytes.Buffer
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(base, file); err == nil {
+			file = filepath.ToSlash(rel)
+		}
+		fmt.Fprintf(&buf, "%s:%d:%d: %s: [%s] %s\n", file, d.Pos.Line, d.Pos.Column, d.Severity, d.Check, d.Message)
+	}
+	return buf.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", "golden", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics differ from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestGoldenNondeterminism demonstrates the true positives in nondetfix
+// (clock reads, unseeded rand, map-order escape), the in-file
+// suppression, and the policy allowlist: nondetallow commits the same
+// violation but is exempt, mirroring serve/telemetry/faults.
+func TestGoldenNondeterminism(t *testing.T) {
+	loader, root := fixtureEnv(t)
+	pkgs, err := loader.LoadDirs(fixtureDir(root, "nondetfix"), fixtureDir(root, "nondetallow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := Policy{Scopes: map[string]Scope{
+		"nondeterminism": {
+			Only:   []string{fixturePath("nondetfix"), fixturePath("nondetallow")},
+			Exempt: []string{fixturePath("nondetallow")},
+		},
+	}}
+	diags := Run(pkgs, []Analyzer{&Nondeterminism{}}, pol)
+	checkGolden(t, "nondeterminism", renderDiags(root, diags))
+}
+
+func TestGoldenHWEnvelope(t *testing.T) {
+	loader, root := fixtureEnv(t)
+	pkgs, err := loader.LoadDirs(fixtureDir(root, "hwfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []Analyzer{&HWEnvelope{}}, DefaultPolicy())
+	checkGolden(t, "hwenvelope", renderDiags(root, diags))
+}
+
+func TestGoldenLockScope(t *testing.T) {
+	loader, root := fixtureEnv(t)
+	pkgs, err := loader.LoadDirs(fixtureDir(root, "lockfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []Analyzer{&LockScope{}}, DefaultPolicy())
+	checkGolden(t, "lockscope", renderDiags(root, diags))
+}
+
+// TestGoldenFloatEq exercises both escape hatches: approxEqual is
+// allowlisted through AllowFuncs, and Suppressed carries a directive.
+func TestGoldenFloatEq(t *testing.T) {
+	loader, root := fixtureEnv(t)
+	pkgs, err := loader.LoadDirs(fixtureDir(root, "floatfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewFloatEq()
+	a.AllowFuncs[fixturePath("floatfix")+".approxEqual"] = true
+	diags := Run(pkgs, []Analyzer{a}, DefaultPolicy())
+	checkGolden(t, "floateq", renderDiags(root, diags))
+}
+
+func TestGoldenErrDrop(t *testing.T) {
+	loader, root := fixtureEnv(t)
+	pkgs, err := loader.LoadDirs(fixtureDir(root, "errfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []Analyzer{&ErrDrop{}}, DefaultPolicy())
+	checkGolden(t, "errdrop", renderDiags(root, diags))
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// HWEnvelope keeps the paper's hardware envelope — 8 CU counts × 8
+// compute frequencies × 7 memory frequencies, 448 configurations — in
+// exactly one place: internal/hw. Outside that package, hardware
+// operating points must be built from the hw constants, the enumerators
+// (ConfigSpace, CUFreqs, ...), or the clamping constructors
+// (hw.NewConfig and friends); a raw integer literal stuffed into a
+// Config field or converted to hw.MHz silently escapes the envelope and
+// bypasses grid validation.
+type HWEnvelope struct{}
+
+// hwPkg is the single source of truth for the tunable ranges.
+const hwPkg = "harmonia/internal/hw"
+
+// hwConfigTypes are the envelope types whose literal construction is
+// restricted, with the fields that carry tunable values.
+var hwConfigTypes = map[string]map[string]bool{
+	"Config":        {},
+	"ComputeConfig": {"CUs": true, "Freq": true},
+	"MemConfig":     {"BusFreq": true},
+}
+
+// Name implements Analyzer.
+func (*HWEnvelope) Name() string { return "hwenvelope" }
+
+// Doc implements Analyzer.
+func (*HWEnvelope) Doc() string {
+	return "forbid raw frequency/CU-count literals outside internal/hw; construct configs via hw constants or clamping constructors"
+}
+
+// Run implements Analyzer.
+func (a *HWEnvelope) Run(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				a.checkComposite(pass, n)
+			case *ast.CallExpr:
+				a.checkConversion(pass, n)
+			case *ast.AssignStmt:
+				a.checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkComposite flags integer literals assigned to tunable fields of
+// hw.Config / hw.ComputeConfig / hw.MemConfig composite literals.
+func (a *HWEnvelope) checkComposite(pass *Pass, lit *ast.CompositeLit) {
+	pkgPath, name, ok := namedFrom(pass.TypeOf(lit))
+	if !ok || pkgPath != hwPkg {
+		return
+	}
+	fields, isEnvelope := hwConfigTypes[name]
+	if !isEnvelope {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			// Positional form: any literal element is a raw tunable.
+			if bl := intLiteral(elt); bl != nil {
+				pass.Reportf(bl.Pos(), "raw hardware literal %s in hw.%s; use hw constants or hw.NewConfig/NewComputeConfig/NewMemConfig", bl.Value, name)
+			}
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !fields[key.Name] {
+			continue
+		}
+		if bl := intLiteral(kv.Value); bl != nil {
+			pass.Reportf(bl.Pos(), "raw hardware literal %s for hw.%s.%s; use hw constants or hw.NewConfig/NewComputeConfig/NewMemConfig", bl.Value, name, key.Name)
+		}
+	}
+}
+
+// checkConversion flags hw.MHz(<literal>): a frequency conjured from a
+// bare number rather than the named grid constants.
+func (a *HWEnvelope) checkConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	bl := intLiteral(call.Args[0])
+	if bl == nil {
+		return
+	}
+	if pass.Pkg.Info == nil {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	if pkgPath, name, ok := namedFrom(tv.Type); ok && pkgPath == hwPkg && name == "MHz" {
+		pass.Reportf(call.Pos(), "raw frequency literal hw.MHz(%s); use the hw grid constants or a clamping constructor", bl.Value)
+	}
+}
+
+// checkAssign flags `cfg.Compute.Freq = 700`-style writes of literals
+// into envelope fields.
+func (a *HWEnvelope) checkAssign(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		bl := intLiteral(as.Rhs[i])
+		if bl == nil {
+			continue
+		}
+		pkgPath, name, ok := namedFrom(pass.TypeOf(sel.X))
+		if !ok || pkgPath != hwPkg {
+			continue
+		}
+		if fields, isEnvelope := hwConfigTypes[name]; isEnvelope && fields[sel.Sel.Name] {
+			pass.Reportf(as.Pos(), "raw hardware literal %s assigned to hw.%s.%s; use hw constants or a clamping constructor", bl.Value, name, sel.Sel.Name)
+		}
+	}
+}
+
+// intLiteral unwraps parens and unary +/- and returns the integer
+// BasicLit, or nil.
+func intLiteral(e ast.Expr) *ast.BasicLit {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = ast.Unparen(u.X)
+	}
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || bl.Kind != token.INT {
+		return nil
+	}
+	return bl
+}

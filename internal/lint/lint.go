@@ -1,0 +1,347 @@
+// Package lint is harmonia's domain-specific static-analysis framework.
+// The repo's load-bearing guarantees — bit-identical memoized runs,
+// order-identical parallel fan-out, and the paper's exact 448-point
+// tunable space — are invariants that ordinary tests only catch after a
+// violation ships. This package makes them machine-checked at review
+// time: a stdlib-only (go/parser, go/ast, go/token, go/types) analysis
+// pass with a common Analyzer interface, per-package policy scoping,
+// position-accurate diagnostics, and //lint:ignore suppression, exposed
+// through cmd/harmonia-lint.
+//
+// Five domain analyzers ship with the framework:
+//
+//   - nondeterminism: wall-clock reads, unseeded math/rand, and
+//     output-reaching map iteration inside the deterministic packages
+//   - hwenvelope: raw frequency/CU-count literals outside internal/hw
+//   - lockscope: mutexes held across calls into gpusim/sweep/batch
+//   - floateq: ==/!= on floating-point operands outside approved helpers
+//   - errdrop: discarded error returns from module APIs
+//
+// See DESIGN.md §10 for each analyzer's invariant and rationale.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Severity classifies a diagnostic. Errors are invariant violations and
+// fail the build; warnings (malformed suppression directives) fail only
+// under -werror.
+type Severity string
+
+const (
+	// SevError marks a finding that violates an enforced invariant.
+	SevError Severity = "error"
+	// SevWarn marks a hygiene finding (e.g. an ignore directive with no
+	// reason) promoted to failing only under -werror.
+	SevWarn Severity = "warn"
+)
+
+// Diagnostic is one position-accurate finding.
+type Diagnostic struct {
+	Check    string
+	Severity Severity
+	Pos      token.Position // absolute file path
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Analyzer is one named static check over a single package.
+type Analyzer interface {
+	// Name is the check identifier used in -checks, policy scopes, and
+	// //lint:ignore directives.
+	Name() string
+	// Doc is a one-line description of the enforced invariant.
+	Doc() string
+	// Run inspects pass.Pkg and reports findings through the pass.
+	Run(pass *Pass)
+}
+
+// Pass carries one (analyzer, package) execution.
+type Pass struct {
+	Pkg    *Package
+	check  string
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Check:    p.check,
+		Severity: SevError,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when the checker could not
+// resolve it ("go/types where resolvable").
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// ObjectOf returns the object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	if obj := p.Pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// Scope restricts where one check runs. A package matches an entry when
+// its import path equals the entry or lies underneath it
+// (entry + "/..."). An empty Scope applies everywhere.
+type Scope struct {
+	// Only, when non-empty, limits the check to matching packages.
+	Only []string
+	// Exempt lists packages the check never runs in (the allowlist
+	// mechanism); it takes precedence over Only.
+	Exempt []string
+}
+
+func matchAny(path string, entries []string) bool {
+	for _, e := range entries {
+		if path == e || strings.HasPrefix(path, e+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Applies reports whether a check with this scope runs in pkgPath.
+func (s Scope) Applies(pkgPath string) bool {
+	if matchAny(pkgPath, s.Exempt) {
+		return false
+	}
+	return len(s.Only) == 0 || matchAny(pkgPath, s.Only)
+}
+
+// Policy maps check names to scopes. Checks without an entry run in
+// every package.
+type Policy struct {
+	Scopes map[string]Scope
+}
+
+// Applies reports whether the named check runs in pkgPath under the
+// policy.
+func (p Policy) Applies(check, pkgPath string) bool {
+	s, ok := p.Scopes[check]
+	if !ok {
+		return true
+	}
+	return s.Applies(pkgPath)
+}
+
+// DeterministicPackages lists the packages whose outputs must be pure
+// functions of their inputs: the simulator, the search/memoization
+// machinery, and everything that produces the paper's numbers. The
+// nondeterminism analyzer is scoped to exactly this set.
+func DeterministicPackages() []string {
+	return []string{
+		"harmonia/internal/gpusim",
+		"harmonia/internal/oracle",
+		"harmonia/internal/sweep",
+		"harmonia/internal/simcache",
+		"harmonia/internal/batch",
+		"harmonia/internal/core",
+		"harmonia/internal/policy",
+		"harmonia/internal/sensitivity",
+		"harmonia/internal/experiments",
+	}
+}
+
+// DefaultPolicy is the repo's enforcement policy: nondeterminism is
+// confined to the deterministic packages (serve/telemetry/faults are
+// explicitly allowlisted — wall-clock and seeded randomness are their
+// job), hwenvelope exempts internal/hw itself (the single source of
+// truth), and floateq exempts internal/floats (the approved comparison
+// helpers).
+func DefaultPolicy() Policy {
+	return Policy{Scopes: map[string]Scope{
+		"nondeterminism": {
+			Only: DeterministicPackages(),
+			Exempt: []string{
+				"harmonia/internal/serve",
+				"harmonia/internal/telemetry",
+				"harmonia/internal/faults",
+			},
+		},
+		"hwenvelope": {Exempt: []string{"harmonia/internal/hw"}},
+		"floateq":    {Exempt: []string{"harmonia/internal/floats"}},
+	}}
+}
+
+// Analyzers returns the five domain analyzers in stable order.
+func Analyzers() []Analyzer {
+	return []Analyzer{
+		&Nondeterminism{},
+		&HWEnvelope{},
+		&LockScope{},
+		NewFloatEq(),
+		&ErrDrop{},
+	}
+}
+
+// Select filters analyzers by a comma-separated name list; an empty
+// list selects all. Unknown names return an error.
+func Select(all []Analyzer, names string) ([]Analyzer, error) {
+	if names == "" {
+		return all, nil
+	}
+	byName := make(map[string]Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name()] = a
+	}
+	var out []Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos    token.Position
+	check  string
+	reason string
+}
+
+// directivesFor extracts //lint:ignore directives from a package's
+// comments. A directive suppresses findings of its named check on the
+// directive's own line (trailing-comment form) and on the following
+// line (standalone-comment form).
+func directivesFor(pkg *Package) []directive {
+	var out []directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:ignore"))
+				check, reason, _ := strings.Cut(rest, " ")
+				out = append(out, directive{
+					pos:    pkg.Fset.Position(c.Pos()),
+					check:  check,
+					reason: strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the packages under the policy,
+// applies suppression directives, and returns the surviving diagnostics
+// sorted by position. Malformed directives (no check name, unknown
+// check, or missing reason) surface as "directive" warnings so -werror
+// keeps the suppression mechanism itself honest.
+func Run(pkgs []*Package, analyzers []Analyzer, pol Policy) []Diagnostic {
+	// Directives are validated against the full check universe, not the
+	// selected subset, so running with -checks does not misflag
+	// directives for unselected checks.
+	known := make(map[string]bool)
+	for _, n := range AllCheckNames() {
+		known[n] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := directivesFor(pkg)
+		suppressed := make(map[string]bool) // "file:line:check"
+		for _, d := range dirs {
+			switch {
+			case d.check == "":
+				diags = append(diags, Diagnostic{
+					Check: "directive", Severity: SevWarn, Pos: d.pos,
+					Message: "lint:ignore needs a check name and a reason",
+				})
+				continue
+			case d.reason == "":
+				diags = append(diags, Diagnostic{
+					Check: "directive", Severity: SevWarn, Pos: d.pos,
+					Message: fmt.Sprintf("lint:ignore %s has no reason; explain why the finding is acceptable", d.check),
+				})
+			case !known[d.check]:
+				diags = append(diags, Diagnostic{
+					Check: "directive", Severity: SevWarn, Pos: d.pos,
+					Message: fmt.Sprintf("lint:ignore names unknown check %q", d.check),
+				})
+			}
+			suppressed[fmt.Sprintf("%s:%d:%s", d.pos.Filename, d.pos.Line, d.check)] = true
+			suppressed[fmt.Sprintf("%s:%d:%s", d.pos.Filename, d.pos.Line+1, d.check)] = true
+		}
+
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			if !pol.Applies(a.Name(), pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Pkg:    pkg,
+				check:  a.Name(),
+				report: func(d Diagnostic) { pkgDiags = append(pkgDiags, d) },
+			}
+			a.Run(pass)
+		}
+		for _, d := range pkgDiags {
+			if suppressed[fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, d.Check)] {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}
+
+// AllCheckNames returns the names of the shipped analyzers in stable
+// order.
+func AllCheckNames() []string {
+	as := Analyzers()
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name()
+	}
+	return out
+}

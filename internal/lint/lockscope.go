@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockScope reports a sync.Mutex or sync.RWMutex held across a call
+// into the simulation fan-out layers (gpusim, sweep, batch). Those
+// calls can run for an entire ~448-point sweep — exactly the shape of
+// the oracle decision-cache bug fixed in PR 3, where a lock held across
+// sweep.Min serialized every concurrent session behind one search. The
+// pattern is approximated lexically within each function: a Lock/RLock
+// opens a held region that a matching Unlock/RUnlock on the same
+// receiver closes, a deferred unlock holds to function end, and nested
+// function literals are not entered (work scheduled for later execution
+// is out of scope).
+type LockScope struct{}
+
+// lockScopeTargets are the packages a held lock must not call into.
+var lockScopeTargets = []string{
+	"harmonia/internal/gpusim",
+	"harmonia/internal/sweep",
+	"harmonia/internal/batch",
+}
+
+// Name implements Analyzer.
+func (*LockScope) Name() string { return "lockscope" }
+
+// Doc implements Analyzer.
+func (*LockScope) Doc() string {
+	return "forbid holding a mutex across calls into gpusim/sweep/batch (sweep-length critical sections)"
+}
+
+// Run implements Analyzer.
+func (a *LockScope) Run(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			a.checkFunc(pass, f, fn)
+		}
+	}
+}
+
+type lockEvent struct {
+	pos  token.Pos
+	kind int // 0 lock, 1 unlock, 2 deferred unlock, 3 target call
+	key  string
+	desc string
+}
+
+func (a *LockScope) checkFunc(pass *Pass, file *ast.File, fn *ast.FuncDecl) {
+	var events []lockEvent
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // runs later, not under this frame's locks
+			case *ast.DeferStmt:
+				// defer recv.Unlock() and defer func(){ recv.Unlock() }()
+				for _, key := range deferredUnlockKeys(pass, n) {
+					events = append(events, lockEvent{pos: n.Pos(), kind: 2, key: key})
+				}
+				// Target calls inside the deferred call's arguments still
+				// execute now; the call itself runs at return, outside the
+				// lexical region — skip descending.
+				return false
+			case *ast.CallExpr:
+				if key, kind, ok := mutexOp(pass, n); ok {
+					events = append(events, lockEvent{pos: n.Pos(), kind: kind, key: key})
+					return true
+				}
+				if pkg, desc, ok := targetCall(pass, file, n); ok {
+					events = append(events, lockEvent{pos: n.Pos(), kind: 3, key: pkg, desc: desc})
+				}
+			}
+			return true
+		})
+	}
+	walk(fn.Body)
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	held := make(map[string]bool)
+	for _, ev := range events {
+		switch ev.kind {
+		case 0, 2:
+			held[ev.key] = true
+		case 1:
+			delete(held, ev.key)
+		case 3:
+			if len(held) == 0 {
+				continue
+			}
+			keys := make([]string, 0, len(held))
+			for k := range held {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			pass.Reportf(ev.pos, "%s called into %s while %s is held; release the lock around sweep-length work",
+				ev.desc, shortPkg(ev.key), strings.Join(keys, ", "))
+		}
+	}
+}
+
+// mutexOp classifies recv.Lock/RLock/Unlock/RUnlock calls, returning
+// the receiver's stable key and the event kind.
+func mutexOp(pass *Pass, call *ast.CallExpr) (key string, kind int, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = 0
+	case "Unlock", "RUnlock":
+		kind = 1
+	default:
+		return "", 0, false
+	}
+	if !isMutexExpr(pass, sel.X) {
+		return "", 0, false
+	}
+	return types.ExprString(sel.X), kind, true
+}
+
+// isMutexExpr reports whether e is (a pointer to) sync.Mutex/RWMutex.
+// Without type information it falls back to a receiver-name heuristic.
+func isMutexExpr(pass *Pass, e ast.Expr) bool {
+	if t := pass.TypeOf(e); t != nil {
+		pkgPath, name, ok := namedFrom(t)
+		return ok && pkgPath == "sync" && (name == "Mutex" || name == "RWMutex")
+	}
+	s := types.ExprString(e)
+	if i := strings.LastIndex(s, "."); i >= 0 {
+		s = s[i+1:]
+	}
+	ls := strings.ToLower(s)
+	return strings.Contains(ls, "mu") || strings.Contains(ls, "lock")
+}
+
+// deferredUnlockKeys extracts the mutex keys a defer statement releases,
+// covering both `defer mu.Unlock()` and `defer func(){ mu.Unlock() }()`.
+func deferredUnlockKeys(pass *Pass, d *ast.DeferStmt) []string {
+	if key, kind, ok := mutexOp(pass, d.Call); ok && kind == 1 {
+		return []string{key}
+	}
+	lit, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	var keys []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, kind, ok := mutexOp(pass, call); ok && kind == 1 {
+				keys = append(keys, key)
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+// targetCall reports whether the call enters one of the fan-out
+// packages, either as a qualified call (sweep.Min) or as a method on a
+// value whose type is declared there (a gpusim.Runner's Run).
+func targetCall(pass *Pass, file *ast.File, call *ast.CallExpr) (pkg, desc string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	if id, isID := sel.X.(*ast.Ident); isID {
+		if obj := pass.ObjectOf(id); obj != nil {
+			if pn, isPkg := obj.(*types.PkgName); isPkg {
+				p := pn.Imported().Path()
+				if matchAny(p, lockScopeTargets) {
+					return p, shortPkg(p) + "." + sel.Sel.Name, true
+				}
+				return "", "", false
+			}
+		} else {
+			// Unresolved: fall back to the file's import names.
+			for _, target := range lockScopeTargets {
+				if name, imported := localImportName(file, target); imported && name == id.Name {
+					return target, shortPkg(target) + "." + sel.Sel.Name, true
+				}
+			}
+		}
+	}
+	if pkgPath, name, named := namedFrom(pass.TypeOf(sel.X)); named && matchAny(pkgPath, lockScopeTargets) {
+		return pkgPath, name + "." + sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Nondeterminism forbids the three bug classes that break bit-identical
+// replay inside the deterministic packages (see DeterministicPackages):
+//
+//   - wall-clock reads (time.Now, time.Since): any value derived from
+//     the clock poisons memoization keys and run/rerun equivalence.
+//   - unseeded math/rand: the package-level functions draw from the
+//     shared global source, whose state depends on everything else in
+//     the process; randomness must flow from rand.New(rand.NewSource)
+//     with an explicit seed.
+//   - map iteration whose order can reach output: ranging over a map
+//     while appending to a slice or writing to a stream bakes Go's
+//     randomized iteration order into the result.
+type Nondeterminism struct{}
+
+// Name implements Analyzer.
+func (*Nondeterminism) Name() string { return "nondeterminism" }
+
+// Doc implements Analyzer.
+func (*Nondeterminism) Doc() string {
+	return "forbid wall-clock reads, unseeded math/rand, and output-reaching map iteration in deterministic packages"
+}
+
+// randConstructors are the math/rand entry points that do not touch the
+// global source: they build explicitly seeded generators.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// Run implements Analyzer.
+func (a *Nondeterminism) Run(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		timeName, timeOK := localImportName(f, "time")
+		randName, randOK := localImportName(f, "math/rand")
+		randV2Name, randV2OK := localImportName(f, "math/rand/v2")
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if timeOK && id.Name == timeName && isPkgRef(pass, id) {
+					if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+						pass.Reportf(n.Pos(), "time.%s reads the wall clock; deterministic packages must take time as an input", sel.Sel.Name)
+					}
+				}
+				if randOK && id.Name == randName && isPkgRef(pass, id) && !randConstructors[sel.Sel.Name] {
+					pass.Reportf(n.Pos(), "rand.%s draws from the unseeded global source; use rand.New(rand.NewSource(seed))", sel.Sel.Name)
+				}
+				if randV2OK && id.Name == randV2Name && isPkgRef(pass, id) && !randConstructors[sel.Sel.Name] {
+					pass.Reportf(n.Pos(), "rand.%s (math/rand/v2) draws from a runtime-seeded source; use rand.New with an explicit seed", sel.Sel.Name)
+				}
+			case *ast.RangeStmt:
+				a.checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags a range over a map whose body can propagate the
+// randomized iteration order into ordered output: an append, a stream
+// write, or a formatted print inside the loop body.
+func (a *Nondeterminism) checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.TypeOf(rng.X)
+	if t == nil || !isMapType(t) {
+		return
+	}
+	var escape ast.Node
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if escape != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "append" {
+				escape = call
+			}
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			if strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+				escape = call
+			}
+		}
+		return true
+	})
+	if escape != nil {
+		pass.Reportf(escape.Pos(), "%s inside map iteration (line %d) bakes random order into output; collect and sort keys first",
+			describeEscape(escape), pass.Pkg.Fset.Position(rng.Pos()).Line)
+	}
+}
+
+func describeEscape(n ast.Node) string {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return "write"
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "write"
+}

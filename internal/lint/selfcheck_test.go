@@ -1,0 +1,32 @@
+package lint
+
+import "testing"
+
+// TestRepoIsLintClean is the regression gate behind `make lint`: the
+// whole module must pass every analyzer under the default policy with
+// zero findings — errors AND warnings, so -werror in CI can never
+// regress silently. A future PR that introduces a violation fails this
+// test even if it forgets to run the linter.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader(root).LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; module walk looks broken", len(pkgs))
+	}
+	diags := Run(pkgs, Analyzers(), DefaultPolicy())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("harmonia-lint found %d finding(s); the tree must stay lint-clean (see DESIGN.md §10)", len(diags))
+	}
+}

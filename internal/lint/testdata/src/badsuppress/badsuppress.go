@@ -1,0 +1,22 @@
+// Package badsuppress is a lint fixture for directive hygiene: a
+// directive with no reason (warns but suppresses), a directive naming
+// an unknown check (warns and suppresses nothing), and an unannotated
+// violation.
+package badsuppress
+
+// NoReason suppresses without explaining itself.
+func NoReason(a, b float64) bool {
+	//lint:ignore floateq
+	return a == b
+}
+
+// UnknownCheck names a check that does not exist.
+func UnknownCheck(a, b float64) bool {
+	//lint:ignore floatcompare wrong check name
+	return a == b
+}
+
+// Unannotated is a plain violation.
+func Unannotated(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,47 @@
+// Package errfix is a lint fixture: true positives and suppressed
+// cases for the errdrop analyzer. Its own import path lies under the
+// module prefix, so its error-returning functions count as module APIs.
+package errfix
+
+import "errors"
+
+// Fallible is a module API returning only an error.
+func Fallible() error {
+	return errors.New("boom")
+}
+
+// Pair is a module API returning a value and an error.
+func Pair() (int, error) {
+	return 0, errors.New("boom")
+}
+
+// DropsBareCall discards the error of a bare call. (true positive)
+func DropsBareCall() {
+	Fallible()
+}
+
+// DropsBlank discards the error via the blank identifier.
+// (true positive)
+func DropsBlank() {
+	_ = Fallible()
+}
+
+// DropsTupleBlank discards the error half of a tuple. (true positive)
+func DropsTupleBlank() int {
+	n, _ := Pair()
+	return n
+}
+
+// Handled propagates the error. (clean)
+func Handled() error {
+	if err := Fallible(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Suppressed documents why dropping the error is acceptable.
+func Suppressed() {
+	//lint:ignore errdrop fixture demonstrating a justified best-effort call
+	_ = Fallible()
+}

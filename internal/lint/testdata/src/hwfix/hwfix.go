@@ -1,0 +1,44 @@
+// Package hwfix is a lint fixture: true positives and suppressed cases
+// for the hwenvelope analyzer.
+package hwfix
+
+import "harmonia/internal/hw"
+
+// Escaped builds an operating point from raw literals.
+// (true positives: one per tunable field)
+func Escaped() hw.Config {
+	return hw.Config{
+		Compute: hw.ComputeConfig{CUs: 16, Freq: 700},
+		Memory:  hw.MemConfig{BusFreq: 925},
+	}
+}
+
+// RawFreq conjures a frequency from a bare number. (true positive)
+func RawFreq() hw.MHz {
+	return hw.MHz(925)
+}
+
+// Poked writes a literal into an envelope field. (true positive)
+func Poked(c hw.Config) hw.Config {
+	c.Compute.Freq = 700
+	return c
+}
+
+// Clamped goes through the sanctioned constructor. (clean)
+func Clamped() hw.Config {
+	return hw.NewConfig(16, 700, 925)
+}
+
+// FromConstants uses the named grid constants. (clean)
+func FromConstants() hw.Config {
+	return hw.Config{
+		Compute: hw.ComputeConfig{CUs: hw.MinCUs, Freq: hw.MinCUFreq},
+		Memory:  hw.MemConfig{BusFreq: hw.MinMemFreq},
+	}
+}
+
+// Suppressed documents why its literal is acceptable.
+func Suppressed() hw.MemConfig {
+	//lint:ignore hwenvelope fixture demonstrating an annotated off-grid point
+	return hw.MemConfig{BusFreq: 500}
+}

@@ -1,0 +1,64 @@
+// Package lockfix is a lint fixture: true positives and suppressed
+// cases for the lockscope analyzer.
+package lockfix
+
+import (
+	"sync"
+
+	"harmonia/internal/gpusim"
+	"harmonia/internal/hw"
+	"harmonia/internal/sweep"
+	"harmonia/internal/workloads"
+)
+
+// Store caches sweep results behind a mutex.
+type Store struct {
+	mu    sync.Mutex
+	sim   gpusim.Runner
+	cache map[string]hw.Config
+}
+
+// HeldAcrossSweep holds the lock across the exhaustive search.
+// (true positive: the PR 3 oracle-cache bug shape)
+func (s *Store) HeldAcrossSweep(key string, space []hw.Config) hw.Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cfg, ok := s.cache[key]; ok {
+		return cfg
+	}
+	best, _, _ := sweep.Min(space, 1, func(hw.Config) float64 { return 0 })
+	s.cache[key] = best
+	return best
+}
+
+// HeldAcrossRun holds the lock across a simulator call.
+// (true positive: method on a gpusim-declared type)
+func (s *Store) HeldAcrossRun(k *workloads.Kernel, cfg hw.Config) gpusim.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sim.Run(k, 0, cfg)
+}
+
+// ReleasedAroundSweep drops the lock before sweeping. (clean)
+func (s *Store) ReleasedAroundSweep(key string, space []hw.Config) hw.Config {
+	s.mu.Lock()
+	cfg, ok := s.cache[key]
+	s.mu.Unlock()
+	if ok {
+		return cfg
+	}
+	best, _, _ := sweep.Min(space, 1, func(hw.Config) float64 { return 0 })
+	s.mu.Lock()
+	s.cache[key] = best
+	s.mu.Unlock()
+	return best
+}
+
+// Suppressed documents why holding the lock is acceptable here.
+func (s *Store) Suppressed(space []hw.Config) hw.Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockscope fixture demonstrating a justified single-point sweep under lock
+	best, _, _ := sweep.Min(space[:1], 1, func(hw.Config) float64 { return 0 })
+	return best
+}

@@ -1,0 +1,11 @@
+// Package nondetallow is a lint fixture: it commits the same
+// violations as nondetfix but is allowlisted by policy in the golden
+// test (the serve/telemetry/faults mechanism), so none are reported.
+package nondetallow
+
+import "time"
+
+// Stamp reads the wall clock, which this package is allowed to do.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

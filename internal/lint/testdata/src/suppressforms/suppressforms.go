@@ -1,0 +1,14 @@
+// Package suppressforms is a lint fixture for the two directive
+// placements the framework accepts.
+package suppressforms
+
+// Trailing carries the directive on the offending line itself.
+func Trailing(a, b float64) bool {
+	return a == b //lint:ignore floateq trailing-form fixture
+}
+
+// Preceding carries the directive on the line above.
+func Preceding(a, b float64) bool {
+	//lint:ignore floateq preceding-form fixture
+	return a == b
+}

@@ -7,6 +7,8 @@ package metrics
 import (
 	"fmt"
 	"math"
+
+	"harmonia/internal/floats"
 )
 
 // Sample is one measured operating interval: how long it took and how much
@@ -61,7 +63,7 @@ func (s Sample) String() string {
 // 0.12 means "12% better than baseline". Matches the paper's
 // "improvement relative to the baseline" presentation in Figures 10-13.
 func Improvement(base, got float64) float64 {
-	if base == 0 {
+	if floats.Zero(base) {
 		return 0
 	}
 	return (base - got) / base
@@ -70,7 +72,7 @@ func Improvement(base, got float64) float64 {
 // Speedup returns base/got for a lower-is-better quantity such as
 // execution time: 1.03 means 3% faster than baseline.
 func Speedup(base, got float64) float64 {
-	if got == 0 {
+	if floats.Zero(got) {
 		return math.Inf(1)
 	}
 	return base / got

@@ -83,9 +83,8 @@ func (p *Profiler) ProfileKernel(k *workloads.Kernel, iterations int, cfg hw.Con
 		prof.MaxTime = math.Max(prof.MaxTime, r.Time)
 	}
 	prof.Mean = counters.Average(sets)
-	// Reconstruction cannot fail: the vectors come from Values().
-	prof.Min, _ = counters.FromValues(minV)
-	prof.Max, _ = counters.FromValues(maxV)
+	prof.Min, _ = counters.FromValues(minV) //lint:ignore errdrop the vectors come from Values(), reconstruction cannot fail
+	prof.Max, _ = counters.FromValues(maxV) //lint:ignore errdrop the vectors come from Values(), reconstruction cannot fail
 	if prof.MinTime > 0 {
 		prof.Spread = prof.MaxTime / prof.MinTime
 	}

@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"harmonia/internal/floats"
 )
 
 // Model is a fitted linear model y = Intercept + Σ Coeffs[i]·x[i].
@@ -180,7 +182,7 @@ func rSquared(y, fitted []float64) float64 {
 		ssTot += (y[i] - mean) * (y[i] - mean)
 		ssRes += (y[i] - fitted[i]) * (y[i] - fitted[i])
 	}
-	if ssTot == 0 {
+	if floats.Zero(ssTot) {
 		return 0
 	}
 	return 1 - ssRes/ssTot
@@ -207,7 +209,7 @@ func Pearson(a, b []float64) float64 {
 		va += da * da
 		vb += db * db
 	}
-	if va == 0 || vb == 0 {
+	if floats.Zero(va) || floats.Zero(vb) {
 		return 0
 	}
 	return cov / math.Sqrt(va*vb)

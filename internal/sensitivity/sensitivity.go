@@ -287,6 +287,7 @@ func BuildConfigTrainingSet(m gpusim.Runner, kernels []*workloads.Kernel) []Trai
 // GOMAXPROCS, 1 forces serial execution.
 func BuildConfigTrainingSetN(m gpusim.Runner, kernels []*workloads.Kernel, workers int) []TrainingPoint {
 	space := hw.ConfigSpace()
+	//lint:ignore errdrop kernelConfigRows never errors and the background context is never canceled
 	perKernel, _ := batch.Map(context.Background(), workers, kernels,
 		func(_ context.Context, _ int, k *workloads.Kernel) ([]TrainingPoint, error) {
 			return kernelConfigRows(m, k, space), nil

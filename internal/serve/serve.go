@@ -26,6 +26,7 @@ import (
 
 	"harmonia"
 	"harmonia/internal/export"
+	"harmonia/internal/floats"
 	"harmonia/internal/hw"
 	"harmonia/internal/telemetry"
 )
@@ -354,7 +355,7 @@ func (s *Server) buildPolicy(req *RunRequest, app *harmonia.Application) (harmon
 		return s.sys.Baseline(), "", nil
 	case "powertune":
 		tdp := req.TDPWatts
-		if tdp == 0 {
+		if floats.Zero(tdp) {
 			tdp = 250
 		}
 		if tdp < 0 {

@@ -25,6 +25,7 @@ type Eval func(cfg hw.Config) float64
 // Map evaluates eval at every configuration in space, in parallel,
 // returning values in input order.
 func Map(space []hw.Config, workers int, eval Eval) []float64 {
+	//lint:ignore errdrop the eval closure never errors and the background context is never canceled
 	out, _ := batch.Map(context.Background(), workers, space,
 		func(_ context.Context, _ int, cfg hw.Config) (float64, error) {
 			return eval(cfg), nil

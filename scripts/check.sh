@@ -1,7 +1,8 @@
 #!/bin/sh
-# Pre-commit gate: formatting, build, vet, race-detector test run, a
-# focused race pass over the concurrent service layer, and the
-# benchmark gate (simulation-memo speedup, BENCH_sweep.json).
+# Pre-commit gate: formatting, build, vet, the harmonia-lint domain
+# analyzers (-werror: malformed suppressions fail too), race-detector
+# test run, a focused race pass over the concurrent service layer, and
+# the benchmark gate (simulation-memo speedup, BENCH_sweep.json).
 set -eux
 cd "$(dirname "$0")/.."
 unformatted="$(gofmt -l .)"
@@ -12,6 +13,7 @@ if [ -n "$unformatted" ]; then
 fi
 go build ./...
 go vet ./...
+go run ./cmd/harmonia-lint -werror ./...
 go test -race ./...
 go test -race -count=1 ./internal/serve/... ./internal/telemetry/...
 sh scripts/bench.sh

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz serve fmt-check lint
+.PHONY: check build vet test race bench fuzz serve fmt-check lint soak
 
 # The full pre-commit gate: formatting, build, vet, the domain linters,
 # and the test suite under the race detector.
@@ -35,6 +35,15 @@ race:
 # and fails if the cached sweep speedup drops below 5x.
 bench:
 	sh scripts/bench.sh
+
+# Chaos soak: the mixed-workload resilience harness (panicking backend,
+# overload shedding, drain mid-flight, journal audit) under the race
+# detector for a bounded number of iterations.
+SOAK_ITERS ?= 8
+soak:
+	HARMONIA_SOAK_ITERS=$(SOAK_ITERS) $(GO) test -race -count=1 \
+		-run 'TestChaosMixedWorkloadSoak|TestCrashRestartReplayByteIdentical|TestPanickingBackendQuarantined' \
+		-v ./internal/serve/
 
 # Run the HTTP evaluation service on :8792 (see cmd/harmonia-serve).
 serve:

@@ -1,10 +1,14 @@
 // Command harmonia-serve runs the simulated Harmonia platform as a
 // long-lived HTTP evaluation service with built-in Prometheus-style
-// telemetry.
+// telemetry, graceful drain, load shedding, and crash-safe
+// checkpoint/resume journaling.
 //
 // Usage:
 //
-//	harmonia-serve [-addr :8792] [-workers N] [-run-ttl 1h] [-max-runs 4096] [-pretrain] [-simcache]
+//	harmonia-serve [-addr :8792] [-workers N] [-run-ttl 1h] [-max-runs 4096]
+//	               [-pretrain] [-simcache] [-journal wal.jsonl]
+//	               [-request-timeout 0] [-drain-timeout 30s]
+//	               [-rate 0] [-burst 0] [-breaker-threshold 5]
 //
 // Endpoints:
 //
@@ -16,8 +20,17 @@
 //	GET  /v1/runs/{id}/trace the 1 kHz power trace (CSV; ?format=json)
 //	GET  /v1/apps            the 14-application evaluation suite
 //	GET  /v1/configs         the legal hardware configuration space
-//	GET  /healthz            liveness
+//	GET  /healthz            liveness (200 even while draining)
+//	GET  /readyz             readiness (503 while draining)
 //	GET  /metrics            Prometheus text-format telemetry
+//
+// SIGTERM or SIGINT starts a graceful drain: the listener stops
+// accepting, /readyz turns 503, new submissions are shed, and in-flight
+// runs get -drain-timeout to finish before being canceled at their next
+// kernel boundary. With -journal, every submission and outcome is
+// write-ahead logged; a restarted daemon replays the journal, restores
+// finished runs bit-exactly, quarantines interrupted standalone runs,
+// and re-executes unfinished batch cells.
 //
 // Example:
 //
@@ -37,6 +50,7 @@ import (
 	"time"
 
 	"harmonia"
+	"harmonia/internal/resilience"
 	"harmonia/internal/serve"
 )
 
@@ -48,6 +62,16 @@ func main() {
 		maxRuns  = flag.Int("max-runs", 4096, "cap on retained run records (negative = unbounded)")
 		pretrain = flag.Bool("pretrain", true, "train the sensitivity predictor at startup instead of on the first harmonia request")
 		simcache = flag.Bool("simcache", true, "memoize simulation results across served runs (bit-identical; fault-injected runs always bypass it)")
+
+		journalPath = flag.String("journal", "", "write-ahead journal path for checkpoint/resume (empty = no journal)")
+		queueDepth  = flag.Int("queue-depth", 0, "admission bound on queued+executing runs; beyond it submissions get 429 (0 = 1024 + 4x workers)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-run execution deadline (0 = none)")
+		drainTO     = flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight runs on SIGTERM before cancellation")
+		rate        = flag.Float64("rate", 0, "sustained submissions admitted per second (0 = unlimited)")
+		burst       = flag.Int("burst", 0, "rate limiter burst capacity (values below 1 become 1)")
+		brkThresh   = flag.Int("breaker-threshold", 5, "consecutive backend failures tripping the circuit breaker (negative = disabled)")
+		brkCooldown = flag.Duration("breaker-cooldown", 10*time.Second, "initial breaker fail-fast window, doubling per failed probe")
+		httpTimeout = flag.Duration("http-timeout", time.Minute, "HTTP read/write/idle timeouts for slow-client hardening (0 = none)")
 	)
 	flag.Parse()
 
@@ -67,19 +91,50 @@ func main() {
 		logger.Printf("predictor trained in %s", time.Since(t0).Round(time.Millisecond))
 	}
 
-	srv := serve.New(sys, serve.Options{
-		Workers:   *workers,
-		RunTTL:    *runTTL,
-		MaxRuns:   *maxRuns,
-		Telemetry: reg,
-		Logger:    logger,
-	})
-	defer srv.Close()
+	var (
+		journal *resilience.Journal
+		replay  *resilience.State
+	)
+	if *journalPath != "" {
+		var err error
+		journal, replay, err = resilience.OpenJournal(*journalPath)
+		if err != nil {
+			logger.Fatalf("opening journal: %v", err)
+		}
+		if replay.Records > 0 {
+			logger.Printf("journal %s: %d records, %d runs, %d batches to replay",
+				*journalPath, replay.Records, len(replay.Runs), len(replay.Batches))
+		}
+	}
 
+	srv := serve.New(sys, serve.Options{
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		RunTTL:           *runTTL,
+		MaxRuns:          *maxRuns,
+		Telemetry:        reg,
+		Logger:           logger,
+		RequestTimeout:   *reqTimeout,
+		RatePerSec:       *rate,
+		RateBurst:        *burst,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCooldown,
+		Journal:          journal,
+		Replay:           replay,
+	})
+
+	// Full slow-client hardening, not just header reads: a client that
+	// trickles its body or never drains the response cannot pin a
+	// connection (and its run slot) forever.
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if *httpTimeout > 0 {
+		httpSrv.ReadTimeout = *httpTimeout
+		httpSrv.WriteTimeout = *httpTimeout
+		httpSrv.IdleTimeout = 2 * *httpTimeout
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -91,13 +146,26 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		logger.Printf("shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		logger.Printf("draining: shedding new work, waiting up to %s for in-flight runs", *drainTO)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		defer cancel()
-		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			logger.Printf("shutdown: %v", err)
+		// Drain the service first — in-flight runs finish or are
+		// canceled at kernel boundaries, queued jobs are failed, batch
+		// watchers reaped, the journal flushed and closed — then close
+		// the listener. Synchronous HTTP waiters got their responses
+		// when their runs went terminal, so the HTTP shutdown is quick.
+		if err := srv.Shutdown(drainCtx); err != nil {
+			logger.Printf("drain: %v (remaining runs were canceled)", err)
+		} else {
+			logger.Printf("drained cleanly")
+		}
+		httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancelHTTP()
+		if err := httpSrv.Shutdown(httpCtx); err != nil {
+			logger.Printf("http shutdown: %v", err)
 		}
 	case err := <-errc:
+		srv.Close()
 		if !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "harmonia-serve:", err)
 			os.Exit(1)

@@ -167,8 +167,9 @@ func DeterministicPackages() []string {
 // DefaultPolicy is the repo's enforcement policy: nondeterminism is
 // confined to the deterministic packages (serve/telemetry/faults are
 // explicitly allowlisted — wall-clock and seeded randomness are their
-// job), hwenvelope exempts internal/hw itself (the single source of
-// truth), and floateq exempts internal/floats (the approved comparison
+// job, as are resilience's breaker cooldowns and rate-limiter refills),
+// hwenvelope exempts internal/hw itself (the single source of truth),
+// and floateq exempts internal/floats (the approved comparison
 // helpers).
 func DefaultPolicy() Policy {
 	return Policy{Scopes: map[string]Scope{
@@ -178,6 +179,10 @@ func DefaultPolicy() Policy {
 				"harmonia/internal/serve",
 				"harmonia/internal/telemetry",
 				"harmonia/internal/faults",
+				// resilience is timer-driven by design: breaker cooldowns,
+				// token-bucket refill, and journal timestamps read the
+				// clock through an injectable now() that tests pin.
+				"harmonia/internal/resilience",
 			},
 		},
 		"hwenvelope": {Exempt: []string{"harmonia/internal/hw"}},

@@ -1,0 +1,196 @@
+// Package resilience is the service-survival toolkit of the Harmonia
+// daemon: a consecutive-failure circuit breaker with half-open probing
+// and exponential cooldown, a token-bucket admission limiter, and an
+// append-only JSONL write-ahead journal that lets a restarted daemon
+// resume interrupted work. The package is deliberately free of any
+// simulator dependency — it speaks time, tokens, and records — so the
+// serve layer can compose it without dragging physics into the
+// resilience tests.
+//
+// Unlike the deterministic simulation packages, resilience components
+// are clocked: they read wall time through an injectable now() so tests
+// can drive them deterministically while production uses time.Now (the
+// lint nondeterminism policy exempts this package for exactly that
+// reason; see internal/lint.DefaultPolicy).
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's tri-state.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: one probe is in flight; everything else is
+	// rejected until the probe resolves the state.
+	BreakerHalfOpen
+	// BreakerOpen: all traffic is rejected until the cooldown elapses.
+	BreakerOpen
+)
+
+// String returns the state's conventional lowercase name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerOptions configures a Breaker. The zero value gets production
+// defaults.
+type BreakerOptions struct {
+	// Threshold is how many consecutive failures trip the breaker;
+	// zero means 5.
+	Threshold int
+	// Cooldown is the first open interval; zero means 10s. Each
+	// successive trip doubles it up to MaxCooldown (the half-open
+	// backoff schedule).
+	Cooldown time.Duration
+	// MaxCooldown caps the doubling; zero means 5m.
+	MaxCooldown time.Duration
+	// Now is the clock, injectable for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// Breaker is a consecutive-failure circuit breaker: Threshold failures
+// in a row trip it open, rejected callers get a Retry-After hint, and
+// after the cooldown one probe is let through half-open — its outcome
+// either closes the breaker or re-opens it with a doubled cooldown.
+// All methods are safe for concurrent use.
+type Breaker struct {
+	threshold   int
+	initial     time.Duration
+	maxCooldown time.Duration
+	now         func() time.Time
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int
+	cooldown    time.Duration
+	openedUntil time.Time
+	trips       uint64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(o BreakerOptions) *Breaker {
+	if o.Threshold <= 0 {
+		o.Threshold = 5
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 10 * time.Second
+	}
+	if o.MaxCooldown <= 0 {
+		o.MaxCooldown = 5 * time.Minute
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return &Breaker{
+		threshold:   o.Threshold,
+		initial:     o.Cooldown,
+		maxCooldown: o.MaxCooldown,
+		now:         o.Now,
+		cooldown:    o.Cooldown,
+	}
+}
+
+// Allow reports whether a request may proceed. A rejected caller gets a
+// retry-after hint: the remaining cooldown when open, one full cooldown
+// when a half-open probe is already in flight. A nil breaker allows
+// everything.
+func (b *Breaker) Allow() (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, 0
+	case BreakerOpen:
+		now := b.now()
+		if now.Before(b.openedUntil) {
+			return false, b.openedUntil.Sub(now)
+		}
+		// Cooldown elapsed: this caller becomes the half-open probe.
+		b.state = BreakerHalfOpen
+		return true, 0
+	default: // BreakerHalfOpen: the probe slot is taken.
+		return false, b.cooldown
+	}
+}
+
+// Success reports a request that completed healthily.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	if b.state == BreakerHalfOpen {
+		// The probe came back clean: close and forgive the backoff.
+		b.state = BreakerClosed
+		b.cooldown = b.initial
+	}
+}
+
+// Failure reports a backend failure (panic or internal error — caller
+// cancellations should not be fed here).
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe failed: back off harder.
+		b.cooldown = min(2*b.cooldown, b.maxCooldown)
+		b.trip()
+	case BreakerClosed:
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.trip()
+		}
+	default: // BreakerOpen: a straggler from before the trip; ignore.
+	}
+}
+
+// trip opens the breaker for the current cooldown. Callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.consecutive = 0
+	b.openedUntil = b.now().Add(b.cooldown)
+	b.trips++
+}
+
+// State returns the current state (open lazily decays to half-open only
+// on Allow, so State may report open after the cooldown elapsed).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,192 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is a manually advanced clock shared by the resilience
+// tests.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{t: time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clock := newTestClock()
+	b := NewBreaker(BreakerOptions{Threshold: 3, Cooldown: 10 * time.Second, Now: clock.Now})
+
+	for i := 0; i < 2; i++ {
+		b.Failure()
+	}
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("breaker tripped below threshold")
+	}
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", got)
+	}
+	ok, retry := b.Allow()
+	if ok {
+		t.Fatal("open breaker admitted a request")
+	}
+	if retry <= 0 || retry > 10*time.Second {
+		t.Errorf("retry-after = %v, want (0, 10s]", retry)
+	}
+	if b.Trips() != 1 {
+		t.Errorf("trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	clock := newTestClock()
+	b := NewBreaker(BreakerOptions{Threshold: 2, Now: clock.Now})
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if got := b.State(); got != BreakerClosed {
+		t.Errorf("state = %v, want closed (success should reset the streak)", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeAndBackoff(t *testing.T) {
+	clock := newTestClock()
+	b := NewBreaker(BreakerOptions{Threshold: 1, Cooldown: 10 * time.Second, MaxCooldown: 25 * time.Second, Now: clock.Now})
+
+	b.Failure() // trip 1: cooldown 10s
+	clock.Advance(11 * time.Second)
+	ok, _ := b.Allow() // becomes the half-open probe
+	if !ok {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	// A second caller during the probe is rejected.
+	if ok, retry := b.Allow(); ok || retry <= 0 {
+		t.Errorf("half-open admitted a second caller (ok=%v retry=%v)", ok, retry)
+	}
+
+	// Probe fails: re-open with doubled cooldown (20s).
+	b.Failure()
+	if b.State() != BreakerOpen || b.Trips() != 2 {
+		t.Fatalf("state/trips after failed probe = %v/%d, want open/2", b.State(), b.Trips())
+	}
+	clock.Advance(11 * time.Second)
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("doubled cooldown should still reject at +11s")
+	}
+	clock.Advance(10 * time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("probe rejected after doubled cooldown elapsed")
+	}
+
+	// Probe fails again: cooldown doubles to 40s but caps at 25s.
+	b.Failure()
+	clock.Advance(26 * time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("probe rejected after capped cooldown elapsed")
+	}
+
+	// A healthy probe closes the breaker and resets the backoff.
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after healthy probe = %v, want closed", got)
+	}
+	b.Failure() // trip again: cooldown must be back to the initial 10s
+	clock.Advance(11 * time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Error("cooldown did not reset to initial after recovery")
+	}
+}
+
+func TestBreakerLateFailuresWhileOpenAreIgnored(t *testing.T) {
+	clock := newTestClock()
+	b := NewBreaker(BreakerOptions{Threshold: 1, Cooldown: 10 * time.Second, Now: clock.Now})
+	b.Failure()
+	trips := b.Trips()
+	b.Failure() // a straggling in-flight run reporting after the trip
+	b.Failure()
+	if b.Trips() != trips {
+		t.Errorf("late failures re-tripped the breaker: %d -> %d", trips, b.Trips())
+	}
+}
+
+func TestNilBreakerAllowsEverything(t *testing.T) {
+	var b *Breaker
+	if ok, _ := b.Allow(); !ok {
+		t.Error("nil breaker rejected")
+	}
+	b.Success()
+	b.Failure()
+	if b.State() != BreakerClosed || b.Trips() != 0 {
+		t.Error("nil breaker reported non-zero state")
+	}
+}
+
+func TestBucketAdmitsBurstThenRefills(t *testing.T) {
+	clock := newTestClock()
+	b := NewBucket(BucketOptions{Rate: 2, Burst: 3, Now: clock.Now})
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, retry := b.Allow()
+	if ok {
+		t.Fatal("empty bucket admitted a request")
+	}
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Errorf("retry-after = %v, want (0, 500ms] at 2 tokens/s", retry)
+	}
+
+	clock.Advance(time.Second) // +2 tokens
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatalf("refilled request %d rejected", i)
+		}
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Error("bucket over-refilled")
+	}
+
+	clock.Advance(time.Hour) // refill clamps at burst
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatalf("post-idle burst request %d rejected", i)
+		}
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Error("bucket exceeded burst after long idle")
+	}
+}
+
+func TestBucketDisabledAndNil(t *testing.T) {
+	if b := NewBucket(BucketOptions{Rate: 0}); b != nil {
+		t.Error("zero rate should disable the limiter")
+	}
+	var b *Bucket
+	for i := 0; i < 100; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatal("nil bucket rejected")
+		}
+	}
+}

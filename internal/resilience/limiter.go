@@ -1,0 +1,72 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BucketOptions configures a Bucket.
+type BucketOptions struct {
+	// Rate is the sustained admission rate in tokens per second; it
+	// must be positive (a non-positive rate makes NewBucket return nil,
+	// which disables limiting — every nil-Bucket Allow succeeds).
+	Rate float64
+	// Burst is the bucket capacity — how many requests may be admitted
+	// back to back after an idle period. Values below 1 are raised to
+	// 1 so a full bucket always admits at least one request.
+	Burst float64
+	// Now is the clock, injectable for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// Bucket is a token-bucket rate limiter: tokens refill continuously at
+// Rate per second up to Burst, and each admitted request spends one.
+// The zero of capacity starts full so a fresh service accepts its first
+// burst immediately. All methods are safe for concurrent use; a nil
+// *Bucket admits everything.
+type Bucket struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// NewBucket returns a full bucket, or nil (no limiting) when the rate
+// is not positive.
+func NewBucket(o BucketOptions) *Bucket {
+	if o.Rate <= 0 {
+		return nil
+	}
+	if o.Burst < 1 {
+		o.Burst = 1
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return &Bucket{rate: o.Rate, burst: o.Burst, now: o.Now, tokens: o.Burst, last: o.Now()}
+}
+
+// Allow spends one token if available. A rejected caller gets the time
+// until the next token accrues as a Retry-After hint.
+func (b *Bucket) Allow() (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens = min(b.burst, b.tokens+b.rate*now.Sub(b.last).Seconds())
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}

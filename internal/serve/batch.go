@@ -25,6 +25,11 @@ type Batch struct {
 	apps     []string
 	policies []string
 	cells    []*Run
+	restored bool
+	// muted suppresses the onDone callback: a replayed batch the
+	// journal already records as done must not journal a second
+	// batchdone line. Set before the watcher starts, never mutated.
+	muted bool
 
 	mu         sync.Mutex
 	createdAt  time.Time
@@ -37,9 +42,11 @@ type Batch struct {
 // state.
 func (b *Batch) Done() <-chan struct{} { return b.done }
 
-// watch waits for all child runs and stamps the batch finished. It runs
-// on its own goroutine, started at creation.
-func (b *Batch) watch(now func() time.Time) {
+// watch waits for all child runs, stamps the batch finished, and
+// reports completion (the server journals it). It runs on its own
+// goroutine, started at creation and tracked by the registry's
+// WaitGroup so shutdown can prove no watcher leaked.
+func (b *Batch) watch(now func() time.Time, onDone func(*Batch)) {
 	for _, run := range b.cells {
 		<-run.Done()
 	}
@@ -47,6 +54,9 @@ func (b *Batch) watch(now func() time.Time) {
 	b.finishedAt = now()
 	b.mu.Unlock()
 	close(b.done)
+	if onDone != nil && !b.muted {
+		onDone(b)
+	}
 }
 
 // terminalSince reports whether the batch finished at or before cutoff.
@@ -81,8 +91,11 @@ type BatchSummaryJSON struct {
 
 // BatchJSON is the wire form of a batch record.
 type BatchJSON struct {
-	ID         string           `json:"id"`
-	Status     string           `json:"status"`
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	// Restored marks a batch replayed from the journal by a restarted
+	// daemon (its unfinished cells were re-executed).
+	Restored   bool             `json:"restored,omitempty"`
 	Apps       []string         `json:"apps"`
 	Policies   []string         `json:"policies"`
 	CreatedAt  time.Time        `json:"created_at"`
@@ -96,6 +109,7 @@ func (b *Batch) JSON() BatchJSON {
 	b.mu.Lock()
 	out := BatchJSON{
 		ID:        b.ID,
+		Restored:  b.restored,
 		Apps:      b.apps,
 		Policies:  b.policies,
 		CreatedAt: b.createdAt,
@@ -119,14 +133,13 @@ func (b *Batch) JSON() BatchJSON {
 		switch rj.Status {
 		case StatusDone:
 			out.Summary.Done++
-			if rep := run.Report(); rep != nil {
-				ed2, t, e := rep.ED2(), rep.TotalTime(), rep.TotalEnergy()
-				cell.ED2, cell.TimeS, cell.EnergyJ = &ed2, &t, &e
+			if h := run.Headline(); h != nil {
+				cell.ED2, cell.TimeS, cell.EnergyJ = h.ed2, h.timeS, h.energyJ
 			}
-		case StatusFailed:
-			out.Summary.Failed++
-		default:
+		case StatusQueued, StatusRunning:
 			out.Summary.Queued++
+		default: // failed, panicked, interrupted
+			out.Summary.Failed++
 		}
 		out.Cells = append(out.Cells, cell)
 	}
@@ -149,10 +162,16 @@ type batchRegistry struct {
 	ttl time.Duration
 	max int
 	now func() time.Time
+	// onDone, when non-nil, observes each batch reaching its terminal
+	// state (the server journals a batchdone record there).
+	onDone func(*Batch)
 
 	mu      sync.Mutex
 	batches map[string]*Batch
 	seq     int
+	// watchers tracks the per-batch watcher goroutines so shutdown can
+	// wait for all of them (the goroutine-leak gate).
+	watchers sync.WaitGroup
 }
 
 func newBatchRegistry(ttl time.Duration, max int, now func() time.Time) *batchRegistry {
@@ -176,9 +195,52 @@ func (g *batchRegistry) create(apps, policies []string, cells []*Run) *Batch {
 		done:      make(chan struct{}),
 	}
 	g.batches[b.ID] = b
-	go b.watch(g.now)
+	g.startWatcher(b)
 	return b
 }
+
+// restore re-inserts a replayed batch under its original journal ID,
+// advancing the sequence counter past it. A batch whose every cell is
+// already terminal completes immediately (watchers over closed Done
+// channels return at once); one with re-executed cells watches them
+// like a live batch.
+func (g *batchRegistry) restore(id string, apps, policies []string, cells []*Run, alreadyDone bool) *Batch {
+	now := g.now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seq := seqOf(id)
+	if seq > g.seq {
+		g.seq = seq
+	}
+	b := &Batch{
+		ID:        id,
+		seq:       seq,
+		apps:      apps,
+		policies:  policies,
+		cells:     cells,
+		restored:  true,
+		muted:     alreadyDone,
+		createdAt: now,
+		done:      make(chan struct{}),
+	}
+	g.batches[id] = b
+	g.startWatcher(b)
+	return b
+}
+
+// startWatcher launches b's completion watcher under the registry's
+// WaitGroup. Callers hold g.mu.
+func (g *batchRegistry) startWatcher(b *Batch) {
+	g.watchers.Add(1)
+	go func() {
+		defer g.watchers.Done()
+		b.watch(g.now, g.onDone)
+	}()
+}
+
+// wait blocks until every watcher goroutine has exited (all batches
+// terminal). Only meaningful once no new batches can be created.
+func (g *batchRegistry) wait() { g.watchers.Wait() }
 
 func (g *batchRegistry) get(id string) (*Batch, bool) {
 	g.mu.Lock()
@@ -304,6 +366,12 @@ func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
 		jobCtx = r.Context()
 	}
 
+	// Admission is all-or-nothing: the whole matrix gets slots or the
+	// batch is shed with nothing scheduled.
+	if shed := s.admit(len(cells)); shed != nil {
+		s.writeShed(w, shed)
+		return
+	}
 	runs := make([]*Run, len(cells))
 	for i, c := range cells {
 		runs[i] = s.reg.create(c.app.Name, c.pol.Name())
@@ -313,18 +381,17 @@ func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
 	s.batchesTotal.Inc()
 	s.batchCells.Add(float64(len(cells)))
 
-	// Submit after the batch record exists so a poller never sees a
-	// dangling batch ID. A full queue fails the remaining cells rather
-	// than leaving them queued forever.
+	// Journal the batch before its cells so replay never sees a cell
+	// pointing at an unknown batch, and enqueue after the records exist
+	// so a poller never sees a dangling ID. Admitted enqueues cannot
+	// block or fail.
+	s.journalBatch(b, &req, runs)
 	for i, c := range cells {
-		j := &job{ctx: jobCtx, run: runs[i], app: c.app, pol: c.pol, opts: opts}
-		if err := s.submit(r.Context(), j); err != nil {
-			for _, rest := range runs[i:] {
-				rest.finish(nil, fmt.Errorf("never scheduled: %w", err), s.now())
-			}
-			writeError(w, http.StatusServiceUnavailable, "could not schedule batch: %v", err)
-			return
-		}
+		rr := RunRequest{App: c.app.Name, Policy: req.Policies[i%len(req.Policies)],
+			Config: req.Config, TDPWatts: req.TDPWatts,
+			FaultSeed: req.FaultSeed, FaultIntensity: req.FaultIntensity}
+		s.journalSubmit(runs[i].ID, c.app.Name, &rr, b.ID)
+		s.enqueue(s.newJob(jobCtx, runs[i], c.app, c.pol, opts))
 	}
 
 	if !wait {

@@ -3,6 +3,8 @@ package serve
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -11,13 +13,29 @@ import (
 )
 
 // Run states. A run is queued on submission, running once a worker
-// picks it up, and done or failed when it finishes.
+// picks it up, and done or failed when it finishes. Two quarantine
+// states exist beyond the happy path: panicked marks a run whose
+// backend execution panicked (the stack is captured on the record and
+// the daemon stays up), and interrupted marks a run that a restarted
+// daemon found submitted but unfinished in its journal.
 const (
-	StatusQueued  = "queued"
-	StatusRunning = "running"
-	StatusDone    = "done"
-	StatusFailed  = "failed"
+	StatusQueued      = "queued"
+	StatusRunning     = "running"
+	StatusDone        = "done"
+	StatusFailed      = "failed"
+	StatusPanicked    = "panicked"
+	StatusInterrupted = "interrupted"
 )
+
+// terminalStatus reports whether a run in this status has finished for
+// good.
+func terminalStatus(status string) bool {
+	switch status {
+	case StatusDone, StatusFailed, StatusPanicked, StatusInterrupted:
+		return true
+	}
+	return false
+}
 
 // Run is one evaluation request's lifecycle record. Fields are guarded
 // by mu; Done closes when the run reaches a terminal state.
@@ -34,12 +52,24 @@ type Run struct {
 	policy     string
 	status     string
 	err        string
+	stack      string
 	createdAt  time.Time
 	startedAt  time.Time
 	finishedAt time.Time
 	report     *session.Report
+	// headline carries the recorded result numbers of a run restored
+	// from the journal, whose full report (kernel runs, trace) was not
+	// persisted. Live runs leave it nil and serve the report instead.
+	headline *headline
+	restored bool
 
 	done chan struct{}
+}
+
+// headline is the ED²/time/energy triple a journal Done record
+// preserves for a finished run.
+type headline struct {
+	ed2, timeS, energyJ *float64
 }
 
 // newRun returns a queued run record.
@@ -81,6 +111,46 @@ func (r *Run) finish(rep *session.Report, err error, now time.Time) {
 	close(r.done)
 }
 
+// finishPanic quarantines the run: terminal "panicked" state carrying
+// the recovered value and the goroutine stack, no report.
+func (r *Run) finishPanic(err error, stack string, now time.Time) {
+	r.mu.Lock()
+	r.finishedAt = now
+	r.status = StatusPanicked
+	r.err = err.Error()
+	r.stack = stack
+	r.mu.Unlock()
+	close(r.done)
+}
+
+// finishRestored stamps a journal-replayed outcome onto the record:
+// status done/failed/panicked/interrupted, the recorded error text, and
+// for done runs the recorded headline numbers. The record is terminal
+// from birth.
+func (r *Run) finishRestored(status, errMsg string, h *headline, now time.Time) {
+	r.mu.Lock()
+	r.finishedAt = now
+	r.status = status
+	r.err = errMsg
+	r.headline = h
+	r.restored = true
+	r.mu.Unlock()
+	close(r.done)
+}
+
+// Headline returns the run's result numbers: from the full report when
+// the run executed in this process, from the journal-restored headline
+// otherwise. Returns nil for runs without results.
+func (r *Run) Headline() *headline {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.report != nil {
+		ed2, t, e := r.report.ED2(), r.report.TotalTime(), r.report.TotalEnergy()
+		return &headline{ed2: &ed2, timeS: &t, energyJ: &e}
+	}
+	return r.headline
+}
+
 // Report returns the finished run's report, or nil.
 func (r *Run) Report() *session.Report {
 	r.mu.Lock()
@@ -92,17 +162,22 @@ func (r *Run) Report() *session.Report {
 func (r *Run) terminalSince(cutoff time.Time) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return (r.status == StatusDone || r.status == StatusFailed) &&
-		!r.finishedAt.After(cutoff)
+	return terminalStatus(r.status) && !r.finishedAt.After(cutoff)
 }
 
 // RunJSON is the wire form of a run record.
 type RunJSON struct {
-	ID         string             `json:"id"`
-	App        string             `json:"app"`
-	Policy     string             `json:"policy"`
-	Status     string             `json:"status"`
-	Error      string             `json:"error,omitempty"`
+	ID     string `json:"id"`
+	App    string `json:"app"`
+	Policy string `json:"policy"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// Stack is the captured goroutine stack of a panicked run.
+	Stack string `json:"stack,omitempty"`
+	// Restored marks a record replayed from the journal by a restarted
+	// daemon; restored done runs carry headline numbers but no full
+	// report or trace.
+	Restored   bool               `json:"restored,omitempty"`
 	CreatedAt  time.Time          `json:"created_at"`
 	FinishedAt *time.Time         `json:"finished_at,omitempty"`
 	Report     *export.ReportJSON `json:"report,omitempty"`
@@ -119,6 +194,8 @@ func (r *Run) JSON() RunJSON {
 		Policy:    r.policy,
 		Status:    r.status,
 		Error:     r.err,
+		Stack:     r.stack,
+		Restored:  r.restored,
 		CreatedAt: r.createdAt,
 	}
 	if !r.finishedAt.IsZero() {
@@ -167,6 +244,35 @@ func (g *registry) create(app, policy string) *Run {
 	run := newRun(fmt.Sprintf("run-%06d", g.seq), g.seq, app, policy, now)
 	g.runs[run.ID] = run
 	return run
+}
+
+// restore re-inserts a run under its original journal ID and advances
+// the sequence counter past it, so IDs minted after a replay never
+// collide with replayed ones.
+func (g *registry) restore(id, app, policy string) *Run {
+	now := g.now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seq := seqOf(id)
+	if seq > g.seq {
+		g.seq = seq
+	}
+	run := newRun(id, seq, app, policy, now)
+	g.runs[id] = run
+	return run
+}
+
+// seqOf extracts the numeric sequence from an "x-000123" style ID, or 0.
+func seqOf(id string) int {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(id[i+1:])
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
 }
 
 // get returns the run by ID.

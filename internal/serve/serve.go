@@ -20,14 +20,18 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"harmonia"
 	"harmonia/internal/export"
 	"harmonia/internal/floats"
 	"harmonia/internal/hw"
+	"harmonia/internal/resilience"
+	"harmonia/internal/session"
 	"harmonia/internal/telemetry"
 )
 
@@ -38,9 +42,11 @@ type Options struct {
 	// pattern: a fixed set of workers draining a job queue). Zero means
 	// GOMAXPROCS.
 	Workers int
-	// QueueDepth bounds how many submitted runs may wait for a worker;
-	// zero means 4x workers. Submitters block (respecting their request
-	// context) when the queue is full.
+	// QueueDepth bounds the admission queue: how many runs may be
+	// queued or executing at once across the whole server. Submissions
+	// beyond it are shed with 429 and a Retry-After hint rather than
+	// queued unboundedly. Zero means 1024 + 4x workers, enough for one
+	// maximum-size batch on an idle server plus per-worker headroom.
 	QueueDepth int
 	// RunTTL is how long finished runs stay pollable before the
 	// registry evicts them; zero means 1 hour, negative keeps forever.
@@ -59,12 +65,51 @@ type Options struct {
 	// Now is the clock, injectable for retention tests; nil means
 	// time.Now.
 	Now func() time.Time
+
+	// BaseContext is the ancestor of every detached run context;
+	// canceling it cancels in-flight work at the next kernel boundary.
+	// Nil means context.Background(). Shutdown and Close cancel the
+	// server's derived context regardless.
+	BaseContext context.Context
+	// RequestTimeout bounds each run from admission to completion; runs
+	// over it are canceled at the next kernel boundary and fail. Zero
+	// means no per-run deadline.
+	RequestTimeout time.Duration
+	// RatePerSec throttles admission with a token bucket (one token per
+	// submission, a batch spending one for its whole matrix); RateBurst
+	// is its capacity (values below 1 are raised to 1). RatePerSec <= 0
+	// disables rate limiting.
+	RatePerSec float64
+	RateBurst  int
+	// BreakerThreshold trips the backend circuit breaker after that
+	// many consecutive run failures or panics (cancellations don't
+	// count); while open, submissions fail fast with 503. Zero means 5;
+	// negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the initial fail-fast window after a trip,
+	// doubling on each failed half-open probe up to 16x. Zero means
+	// 10 seconds.
+	BreakerCooldown time.Duration
+	// Journal, when non-nil, receives a write-ahead record of every
+	// submission and outcome so a restarted daemon can resume. Replay,
+	// when non-nil, is the folded state of a previous journal to
+	// restore before serving.
+	Journal *resilience.Journal
+	Replay  *resilience.State
+
+	// runFn overrides backend execution; in-package chaos tests inject
+	// panicking or hanging backends here. Nil means sys.RunContext. Set
+	// before New so workers observe it without synchronization.
+	runFn func(ctx context.Context, app *harmonia.Application, pol harmonia.Policy, opts ...harmonia.RunOption) (*session.Report, error)
 }
 
 // Server is the HTTP evaluation service. Construct with New, mount
-// Handler, and Close when done.
+// Handler, and Shutdown (graceful) or Close (immediate) when done.
 type Server struct {
-	sys     *harmonia.System
+	sys *harmonia.System
+	// runFn executes one run; defaults to sys.RunContext. Chaos tests
+	// swap it for panicking or hanging backends.
+	runFn   func(ctx context.Context, app *harmonia.Application, pol harmonia.Policy, opts ...harmonia.RunOption) (*session.Report, error)
 	reg     *registry
 	batches *batchRegistry
 	tel     *telemetry.Registry
@@ -74,10 +119,29 @@ type Server struct {
 	mux     *http.ServeMux
 	handler http.Handler
 
-	jobs    chan *job
+	jobs       chan *job
+	queueDepth int64
+	// pending counts admitted-but-not-terminal runs (queued plus
+	// executing); admission bounds it by queueDepth, and because the
+	// jobs channel is buffered to queueDepth, an admitted enqueue never
+	// blocks.
+	pending atomic.Int64
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
+	// runsWG tracks admitted runs to their terminal state; drain waits
+	// on it. drainMu orders its Add (under RLock, in admit) against
+	// Shutdown's Wait (under Lock) so the pair is race-free.
+	runsWG    sync.WaitGroup
+	drainMu   sync.RWMutex
+	draining  bool
+	closeOnce sync.Once
+	closeErr  error
+
+	requestTimeout time.Duration
+	limiter        *resilience.Bucket
+	breaker        *resilience.Breaker
+	journal        *resilience.Journal
 
 	started time.Time
 
@@ -88,15 +152,25 @@ type Server struct {
 	evicted      *telemetry.Counter
 	batchesTotal *telemetry.Counter
 	batchCells   *telemetry.Counter
+
+	shedTotal       *telemetry.CounterVec
+	panicsTotal     *telemetry.Counter
+	breakerState    *telemetry.Gauge
+	breakerTrips    *telemetry.Gauge
+	drainingGauge   *telemetry.Gauge
+	journalRecords  *telemetry.Counter
+	journalReplayed *telemetry.CounterVec
 }
 
-// job is one queued evaluation.
+// job is one queued evaluation. cancel, when non-nil, releases the
+// per-run deadline timer and must run once the job is terminal.
 type job struct {
-	ctx  context.Context
-	run  *Run
-	app  *harmonia.Application
-	pol  harmonia.Policy
-	opts []harmonia.RunOption
+	ctx    context.Context
+	cancel context.CancelFunc
+	run    *Run
+	app    *harmonia.Application
+	pol    harmonia.Policy
+	opts   []harmonia.RunOption
 }
 
 // New returns a server over the given system and starts its worker
@@ -108,7 +182,7 @@ func New(sys *harmonia.System, opts Options) *Server {
 	}
 	depth := opts.QueueDepth
 	if depth <= 0 {
-		depth = 4 * workers
+		depth = maxBatchCells + 4*workers
 	}
 	ttl := opts.RunTTL
 	switch {
@@ -139,18 +213,34 @@ func New(sys *harmonia.System, opts Options) *Server {
 	if now == nil {
 		now = time.Now
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	base := opts.BaseContext
+	if base == nil {
+		base = context.Background()
+	}
+	var breaker *resilience.Breaker
+	if opts.BreakerThreshold >= 0 {
+		breaker = resilience.NewBreaker(resilience.BreakerOptions{
+			Threshold: opts.BreakerThreshold,
+			Cooldown:  opts.BreakerCooldown,
+		})
+	}
+	ctx, cancel := context.WithCancel(base)
 	s := &Server{
-		sys:     sys,
-		reg:     newRegistry(ttl, maxRuns, now),
-		batches: newBatchRegistry(ttl, maxRuns, now),
-		tel:     tel,
-		log:     logger,
-		now:     now,
-		jobs:    make(chan *job, depth),
-		baseCtx: ctx,
-		cancel:  cancel,
-		started: now(),
+		sys:            sys,
+		reg:            newRegistry(ttl, maxRuns, now),
+		batches:        newBatchRegistry(ttl, maxRuns, now),
+		tel:            tel,
+		log:            logger,
+		now:            now,
+		jobs:           make(chan *job, depth),
+		queueDepth:     int64(depth),
+		baseCtx:        ctx,
+		cancel:         cancel,
+		requestTimeout: opts.RequestTimeout,
+		limiter:        resilience.NewBucket(resilience.BucketOptions{Rate: opts.RatePerSec, Burst: float64(opts.RateBurst)}),
+		breaker:        breaker,
+		journal:        opts.Journal,
+		started:        now(),
 		httpReqs: tel.CounterVec("harmonia_http_requests_total",
 			"HTTP requests served.", "method", "path", "code"),
 		httpDur: tel.HistogramVec("harmonia_http_request_duration_seconds",
@@ -165,9 +255,33 @@ func New(sys *harmonia.System, opts Options) *Server {
 			"Batch matrices accepted by POST /v1/batch."),
 		batchCells: tel.Counter("harmonia_serve_batch_cells_total",
 			"Individual (app, policy) runs scheduled by batches."),
+		shedTotal: tel.CounterVec("harmonia_serve_shed_total",
+			"Submissions rejected by admission control, by reason.", "reason"),
+		panicsTotal: tel.Counter("harmonia_serve_panics_total",
+			"Panics recovered (HTTP handlers and quarantined runs)."),
+		breakerState: tel.Gauge("harmonia_serve_breaker_state",
+			"Backend circuit breaker state: 0 closed, 1 half-open, 2 open."),
+		breakerTrips: tel.Gauge("harmonia_serve_breaker_trips_total",
+			"Times the backend circuit breaker has tripped open."),
+		drainingGauge: tel.Gauge("harmonia_serve_draining",
+			"1 while the server is draining for shutdown, else 0."),
+		journalRecords: tel.Counter("harmonia_serve_journal_appends_total",
+			"Records appended to the write-ahead journal this process."),
+		journalReplayed: tel.CounterVec("harmonia_serve_journal_replayed_total",
+			"Journal runs handled at startup, by outcome.", "outcome"),
+	}
+	s.runFn = s.sys.RunContext
+	if opts.runFn != nil {
+		s.runFn = opts.runFn
 	}
 	s.reg.onEvict = func(n int) { s.evicted.Add(float64(n)) }
+	s.batches.onDone = func(b *Batch) {
+		s.journalAppend(resilience.Record{T: resilience.RecBatchDone, ID: b.ID})
+	}
 	s.buildMux()
+	if opts.Replay != nil {
+		s.replay(opts.Replay)
+	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -175,20 +289,72 @@ func New(sys *harmonia.System, opts Options) *Server {
 	return s
 }
 
-// Close stops the worker pool. In-flight runs are canceled through the
-// base context; jobs still queued are failed so no waiter hangs.
+// Shutdown drains the server: new submissions are shed, /readyz turns
+// 503, and in-flight runs get until ctx's deadline to finish. Past the
+// deadline, remaining runs are canceled at their next kernel boundary
+// and queued jobs failed. Either way the batch watchers are reaped and
+// the journal closed before returning, so a clean exit proves no
+// goroutine leaked. Idempotent; later calls return the first result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeOnce.Do(func() { s.closeErr = s.shutdown(ctx) })
+	return s.closeErr
+}
+
+// Close stops the server immediately: Shutdown with an already-expired
+// deadline, so in-flight runs are canceled at once.
 func (s *Server) Close() {
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	//lint:ignore errdrop forced shutdown always reports context.Canceled by construction
+	s.Shutdown(done)
+}
+
+func (s *Server) shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	s.drainingGauge.Set(1)
+
+	// Give admitted runs until the deadline to reach a terminal state.
+	drained := make(chan struct{})
+	go func() {
+		s.runsWG.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	// Stop the pool. Canceling the base context aborts still-running
+	// runs at their next kernel boundary (a no-op after a clean drain)
+	// and wakes idle workers.
 	s.cancel()
 	s.wg.Wait()
+
+	// Fail whatever never got picked up (forced path only) so no waiter
+	// hangs, then settle the remaining accounting.
+drain:
 	for {
 		select {
 		case j := <-s.jobs:
 			j.run.finish(nil, errors.New("server shut down before the run was scheduled"), s.now())
-			s.inflight.Add(-1)
+			s.journalOutcome(j.run)
+			s.jobDone(j)
 		default:
-			return
+			break drain
 		}
 	}
+	s.runsWG.Wait()
+	// Every cell is terminal now, so each batch watcher exits; waiting
+	// here is the goroutine-leak gate.
+	s.batches.wait()
+	if cerr := s.journal.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Handler returns the service's HTTP handler (all routes, wrapped in
@@ -209,27 +375,158 @@ func (s *Server) worker() {
 	}
 }
 
-// execute runs one job to a terminal state.
+// execute runs one job to a terminal state. A backend panic is
+// quarantined onto the run record — terminal "panicked" status with the
+// captured stack — and fed to the circuit breaker; the worker and the
+// daemon stay up.
 func (s *Server) execute(j *job) {
+	defer s.jobDone(j)
 	j.run.start(s.now())
-	rep, err := s.sys.RunContext(j.ctx, j.app, j.pol, j.opts...)
-	j.run.finish(rep, err, s.now())
-	s.inflight.Add(-1)
-	s.retained.Set(float64(s.reg.size()))
+	rep, err, stack := s.runJob(j)
+	now := s.now()
+	switch {
+	case stack != "":
+		j.run.finishPanic(err, stack, now)
+		s.panicsTotal.Inc()
+		s.log.Printf("run=%s panic quarantined: %v", j.run.ID, err)
+		s.breakerFeed(false)
+	case err != nil:
+		j.run.finish(nil, err, now)
+		if !isCancellation(err) {
+			s.breakerFeed(false)
+		}
+	default:
+		j.run.finish(rep, nil, now)
+		s.breakerFeed(true)
+	}
+	s.journalOutcome(j.run)
 }
 
-// submit queues a job, blocking until a queue slot frees, the caller's
-// context cancels, or the server shuts down.
-func (s *Server) submit(ctx context.Context, j *job) error {
-	select {
-	case s.jobs <- j:
-		s.inflight.Add(1)
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-s.baseCtx.Done():
-		return errors.New("server shutting down")
+// runJob invokes the backend with panic capture: a panic comes back as
+// (nil, err, stack) instead of unwinding the worker.
+func (s *Server) runJob(j *job) (rep *session.Report, err error, stack string) {
+	defer func() {
+		if p := recover(); p != nil {
+			rep = nil
+			err = fmt.Errorf("backend panic: %v", p)
+			stack = string(debug.Stack())
+		}
+	}()
+	rep, err = s.runFn(j.ctx, j.app, j.pol, j.opts...)
+	return rep, err, ""
+}
+
+// jobDone settles one admitted job's accounting: deadline timer, the
+// pending/inflight counters, and the drain WaitGroup.
+func (s *Server) jobDone(j *job) {
+	if j.cancel != nil {
+		j.cancel()
 	}
+	s.pending.Add(-1)
+	s.inflight.Add(-1)
+	s.retained.Set(float64(s.reg.size()))
+	s.runsWG.Done()
+}
+
+// isCancellation reports whether err is the caller or deadline going
+// away rather than the backend misbehaving; cancellations don't feed
+// the circuit breaker.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// breakerFeed reports one run outcome to the circuit breaker and
+// refreshes its gauges.
+func (s *Server) breakerFeed(ok bool) {
+	if s.breaker == nil {
+		return
+	}
+	if ok {
+		s.breaker.Success()
+	} else {
+		s.breaker.Failure()
+	}
+	s.breakerState.Set(float64(s.breaker.State()))
+	s.breakerTrips.Set(float64(s.breaker.Trips()))
+}
+
+// shedError is an admission rejection: which HTTP status to shed with,
+// the bounded-cardinality reason label, and the Retry-After hint.
+type shedError struct {
+	status     int
+	reason     string
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *shedError) Error() string { return e.msg }
+
+// admit reserves n admission slots or explains the rejection. On
+// success the runs are committed: n runsWG entries and n pending slots
+// are held, and the caller must enqueue exactly n jobs (enqueues of
+// admitted jobs cannot fail or block). Checks run cheapest-first and
+// the breaker last so a half-open probe slot is only consumed by a
+// submission that will actually execute.
+func (s *Server) admit(n int) *shedError {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return &shedError{status: http.StatusServiceUnavailable, reason: "draining",
+			retryAfter: time.Second, msg: "server is draining for shutdown"}
+	}
+	if ok, retry := s.limiter.Allow(); !ok {
+		return &shedError{status: http.StatusTooManyRequests, reason: "rate_limited",
+			retryAfter: retry, msg: "rate limit exceeded"}
+	}
+	if p := s.pending.Add(int64(n)); p > s.queueDepth {
+		s.pending.Add(int64(-n))
+		return &shedError{status: http.StatusTooManyRequests, reason: "queue_full",
+			retryAfter: time.Second,
+			msg:        fmt.Sprintf("admission queue full (%d of %d slots pending)", p-int64(n), s.queueDepth)}
+	}
+	if s.breaker != nil {
+		if ok, retry := s.breaker.Allow(); !ok {
+			s.pending.Add(int64(-n))
+			s.breakerState.Set(float64(s.breaker.State()))
+			return &shedError{status: http.StatusServiceUnavailable, reason: "breaker_open",
+				retryAfter: retry, msg: "circuit breaker open: backend is failing"}
+		}
+		s.breakerState.Set(float64(s.breaker.State()))
+	}
+	s.runsWG.Add(n)
+	s.inflight.Add(float64(n))
+	return nil
+}
+
+// enqueue hands an admitted job to the pool. pending <= queueDepth ==
+// cap(jobs) and running jobs have already left the channel, so the send
+// never blocks.
+func (s *Server) enqueue(j *job) {
+	s.jobs <- j
+}
+
+// newJob builds a job under the per-run deadline, when one is set.
+func (s *Server) newJob(parent context.Context, run *Run, app *harmonia.Application, pol harmonia.Policy, opts []harmonia.RunOption) *job {
+	ctx := parent
+	var cancel context.CancelFunc
+	if s.requestTimeout > 0 {
+		ctx, cancel = context.WithTimeout(parent, s.requestTimeout)
+	}
+	return &job{ctx: ctx, cancel: cancel, run: run, app: app, pol: pol, opts: opts}
+}
+
+// writeShed rejects a submission with Retry-After and counts it.
+func (s *Server) writeShed(w http.ResponseWriter, e *shedError) {
+	s.shedTotal.With(e.reason).Inc()
+	secs := int(e.retryAfter / time.Second)
+	if e.retryAfter%time.Second != 0 {
+		secs++
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeError(w, e.status, "%s", e.msg)
 }
 
 // buildMux registers every route. Paths are passed twice — once as the
@@ -248,9 +545,26 @@ func (s *Server) buildMux() {
 	route("GET /v1/apps", "/v1/apps", s.handleApps)
 	route("GET /v1/configs", "/v1/configs", s.handleConfigs)
 	route("GET /healthz", "/healthz", s.handleHealthz)
+	route("GET /readyz", "/readyz", s.handleReadyz)
 	route("GET /metrics", "/metrics", s.handleMetrics)
 	s.mux = mux
-	s.handler = s.logged(mux)
+	s.handler = s.logged(s.recovered(mux))
+}
+
+// recovered is the panic backstop for HTTP handlers: a panicking
+// handler yields one 500 and a logged stack instead of a dead
+// connection (and, without http.Server's own recovery, a dead daemon).
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.panicsTotal.Inc()
+				s.log.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // statusWriter captures the response code for logging and metrics.
@@ -412,20 +726,20 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 	}
 	wait := req.Wait == nil || *req.Wait
 
+	if shed := s.admit(1); shed != nil {
+		s.writeShed(w, shed)
+		return
+	}
 	run := s.reg.create(req.App, pol.Name())
 	s.retained.Set(float64(s.reg.size()))
+	s.journalSubmit(run.ID, req.App, &req, "")
 	jobCtx := s.baseCtx
 	if wait {
 		// A synchronous caller that disconnects cancels its run at the
 		// next kernel boundary; detached runs only stop at shutdown.
 		jobCtx = r.Context()
 	}
-	j := &job{ctx: jobCtx, run: run, app: app, pol: pol, opts: opts}
-	if err := s.submit(r.Context(), j); err != nil {
-		run.finish(nil, fmt.Errorf("never scheduled: %w", err), s.now())
-		writeError(w, http.StatusServiceUnavailable, "could not schedule run: %v", err)
-		return
-	}
+	s.enqueue(s.newJob(jobCtx, run, app, pol, opts))
 	if !wait {
 		writeJSON(w, http.StatusAccepted, run.JSON())
 		return
@@ -435,7 +749,7 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 	case <-r.Context().Done():
 		// The worker sees the same context and will mark the run
 		// failed — unless the server shuts down with the job still
-		// queued, in which case Close fails it.
+		// queued, in which case Shutdown fails it.
 		select {
 		case <-run.Done():
 		case <-s.baseCtx.Done():
@@ -444,8 +758,11 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 	}
 	out := run.JSON()
 	status := http.StatusOK
-	if out.Status == StatusFailed {
+	switch out.Status {
+	case StatusFailed, StatusInterrupted:
 		status = http.StatusUnprocessableEntity
+	case StatusPanicked:
+		status = http.StatusInternalServerError
 	}
 	writeJSON(w, status, out)
 }
@@ -563,6 +880,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeS:      s.now().Sub(s.started).Seconds(),
 		RetainedRuns: s.reg.size(),
 	})
+}
+
+// handleReadyz is GET /readyz: readiness, as distinct from /healthz
+// liveness. A draining server is still alive (liveness stays 200 so the
+// drain isn't cut short by a restart) but not ready — load balancers
+// should stop routing to it.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.drainMu.RLock()
+	draining := s.draining
+	s.drainMu.RUnlock()
+	body := struct {
+		Status      string `json:"status"`
+		Breaker     string `json:"breaker,omitempty"`
+		PendingRuns int    `json:"pending_runs"`
+	}{
+		Status:      "ready",
+		PendingRuns: int(s.pending.Load()),
+	}
+	if s.breaker != nil {
+		body.Breaker = s.breaker.State().String()
+	}
+	if draining {
+		body.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleMetrics is GET /metrics in Prometheus text exposition format.

@@ -56,6 +56,26 @@ func TestRunContextCancelsAtKernelBoundary(t *testing.T) {
 	}
 }
 
+// TestCancellationCountsAsCanceledNotFailed: a context-canceled run
+// increments harmonia_runs_canceled_total, leaving the failed family —
+// the one alerting thresholds watch — untouched.
+func TestCancellationCountsAsCanceledNotFailed(t *testing.T) {
+	reg := telemetry.New()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := &haltingPolicy{Baseline: policy.NewBaseline(), cancel: cancel, n: 2}
+	s := New(p)
+	s.Telemetry = reg
+	if _, err := s.RunContext(ctx, workloads.Graph500()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	canceled := reg.CounterVec(MetricRunsCanceled, "", "policy").With("halting")
+	failed := reg.CounterVec(MetricRunsFailed, "", "policy").With("halting")
+	if canceled.Value() != 1 || failed.Value() != 0 {
+		t.Errorf("canceled/failed = %v/%v, want 1/0", canceled.Value(), failed.Value())
+	}
+}
+
 func TestRunContextIsBitIdenticalToRun(t *testing.T) {
 	app := workloads.Graph500()
 	a, err := New(policy.NewBaseline()).Run(app)

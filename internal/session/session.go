@@ -53,6 +53,7 @@ const (
 	MetricRunsStarted       = "harmonia_runs_started_total"
 	MetricRunsCompleted     = "harmonia_runs_completed_total"
 	MetricRunsFailed        = "harmonia_runs_failed_total"
+	MetricRunsCanceled      = "harmonia_runs_canceled_total"
 	MetricKernelInvocations = "harmonia_kernel_invocations_total"
 	MetricSimulatedSeconds  = "harmonia_simulated_seconds_total"
 	MetricRunED2            = "harmonia_run_ed2"
@@ -68,6 +69,7 @@ var ed2Buckets = telemetry.ExponentialBuckets(1, math.Sqrt(10), 13)
 // (nil registry) is a no-op.
 type instruments struct {
 	started, completed, failed *telemetry.Counter
+	canceled                   *telemetry.Counter
 	kernels, simSeconds        *telemetry.Counter
 	ed2                        *telemetry.Histogram
 }
@@ -83,7 +85,8 @@ func (s *Session) instrumentsFor() instruments {
 	return instruments{
 		started:    r.CounterVec(MetricRunsStarted, "Application runs started.", "policy").With(pol),
 		completed:  r.CounterVec(MetricRunsCompleted, "Application runs completed.", "policy").With(pol),
-		failed:     r.CounterVec(MetricRunsFailed, "Application runs failed or canceled.", "policy").With(pol),
+		failed:     r.CounterVec(MetricRunsFailed, "Application runs failed.", "policy").With(pol),
+		canceled:   r.CounterVec(MetricRunsCanceled, "Application runs canceled by their context (shutdown, deadline, or a gone caller) — not backend failures.", "policy").With(pol),
 		kernels:    r.CounterVec(MetricKernelInvocations, "Kernel invocations simulated.", "policy").With(pol),
 		simSeconds: r.CounterVec(MetricSimulatedSeconds, "Simulated GPU execution seconds.", "policy").With(pol),
 		ed2:        r.HistogramVec(MetricRunED2, "Per-run energy-delay-squared product (J*s^2).", ed2Buckets, "policy").With(pol),
@@ -155,8 +158,12 @@ func (s *Session) RunContext(ctx context.Context, app *workloads.Application) (*
 	for iter := 0; iter < app.Iterations; iter++ {
 		for _, k := range app.Kernels {
 			if err := ctx.Err(); err != nil {
-				if ins.failed != nil {
-					ins.failed.Inc()
+				// Cancellation is counted apart from failure: a draining
+				// server canceling runs at kernel boundaries is not a sign
+				// of a sick backend, and alerting thresholds on the failed
+				// family must not fire for it.
+				if ins.canceled != nil {
+					ins.canceled.Inc()
 				}
 				return nil, fmt.Errorf("session: run of %s canceled at %s iter %d: %w",
 					app.Name, k.Name, iter, err)

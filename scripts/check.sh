@@ -1,8 +1,9 @@
 #!/bin/sh
 # Pre-commit gate: formatting, build, vet, the harmonia-lint domain
 # analyzers (-werror: malformed suppressions fail too), race-detector
-# test run, a focused race pass over the concurrent service layer, and
-# the benchmark gate (simulation-memo speedup, BENCH_sweep.json).
+# test run, a focused race pass over the concurrent service layer, a
+# bounded chaos-soak of the resilience layer (make soak), and the
+# benchmark gate (simulation-memo speedup, BENCH_sweep.json).
 set -eux
 cd "$(dirname "$0")/.."
 unformatted="$(gofmt -l .)"
@@ -16,4 +17,5 @@ go vet ./...
 go run ./cmd/harmonia-lint -werror ./...
 go test -race ./...
 go test -race -count=1 ./internal/serve/... ./internal/telemetry/...
+make soak SOAK_ITERS="${SOAK_ITERS:-4}"
 sh scripts/bench.sh

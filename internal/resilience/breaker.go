@@ -103,29 +103,32 @@ func NewBreaker(o BreakerOptions) *Breaker {
 	}
 }
 
-// Allow reports whether a request may proceed. A rejected caller gets a
+// Allow reports whether a request may proceed, and whether the admitted
+// request holds the half-open probe slot. The probe's owner must
+// resolve the slot — Success, Failure, or CancelProbe — or the breaker
+// stays half-open rejecting everything. A rejected caller gets a
 // retry-after hint: the remaining cooldown when open, one full cooldown
 // when a half-open probe is already in flight. A nil breaker allows
 // everything.
-func (b *Breaker) Allow() (ok bool, retryAfter time.Duration) {
+func (b *Breaker) Allow() (ok bool, probe bool, retryAfter time.Duration) {
 	if b == nil {
-		return true, 0
+		return true, false, 0
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
-		return true, 0
+		return true, false, 0
 	case BreakerOpen:
 		now := b.now()
 		if now.Before(b.openedUntil) {
-			return false, b.openedUntil.Sub(now)
+			return false, false, b.openedUntil.Sub(now)
 		}
 		// Cooldown elapsed: this caller becomes the half-open probe.
 		b.state = BreakerHalfOpen
-		return true, 0
+		return true, true, 0
 	default: // BreakerHalfOpen: the probe slot is taken.
-		return false, b.cooldown
+		return false, false, b.cooldown
 	}
 }
 
@@ -164,6 +167,25 @@ func (b *Breaker) Failure() {
 		}
 	default: // BreakerOpen: a straggler from before the trip; ignore.
 	}
+}
+
+// CancelProbe returns a half-open probe slot whose request was
+// cancelled before it observed backend health: the breaker re-opens for
+// one more cooldown — unchanged, because the backend was not seen
+// failing, so no backoff doubling and no trip counted. A no-op in any
+// other state (a concurrent Success or Failure already resolved the
+// probe) and on a nil breaker.
+func (b *Breaker) CancelProbe() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerHalfOpen {
+		return
+	}
+	b.state = BreakerOpen
+	b.openedUntil = b.now().Add(b.cooldown)
 }
 
 // trip opens the breaker for the current cooldown. Callers hold b.mu.

@@ -36,14 +36,14 @@ func TestBreakerTripsAfterThreshold(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		b.Failure()
 	}
-	if ok, _ := b.Allow(); !ok {
+	if ok, _, _ := b.Allow(); !ok {
 		t.Fatal("breaker tripped below threshold")
 	}
 	b.Failure()
 	if got := b.State(); got != BreakerOpen {
 		t.Fatalf("state after threshold failures = %v, want open", got)
 	}
-	ok, retry := b.Allow()
+	ok, _, retry := b.Allow()
 	if ok {
 		t.Fatal("open breaker admitted a request")
 	}
@@ -72,15 +72,15 @@ func TestBreakerHalfOpenProbeAndBackoff(t *testing.T) {
 
 	b.Failure() // trip 1: cooldown 10s
 	clock.Advance(11 * time.Second)
-	ok, _ := b.Allow() // becomes the half-open probe
-	if !ok {
+	ok, probe, _ := b.Allow() // becomes the half-open probe
+	if !ok || !probe {
 		t.Fatal("cooldown elapsed but probe rejected")
 	}
 	if got := b.State(); got != BreakerHalfOpen {
 		t.Fatalf("state = %v, want half-open", got)
 	}
 	// A second caller during the probe is rejected.
-	if ok, retry := b.Allow(); ok || retry <= 0 {
+	if ok, _, retry := b.Allow(); ok || retry <= 0 {
 		t.Errorf("half-open admitted a second caller (ok=%v retry=%v)", ok, retry)
 	}
 
@@ -90,18 +90,18 @@ func TestBreakerHalfOpenProbeAndBackoff(t *testing.T) {
 		t.Fatalf("state/trips after failed probe = %v/%d, want open/2", b.State(), b.Trips())
 	}
 	clock.Advance(11 * time.Second)
-	if ok, _ := b.Allow(); ok {
+	if ok, _, _ := b.Allow(); ok {
 		t.Fatal("doubled cooldown should still reject at +11s")
 	}
 	clock.Advance(10 * time.Second)
-	if ok, _ := b.Allow(); !ok {
+	if ok, _, _ := b.Allow(); !ok {
 		t.Fatal("probe rejected after doubled cooldown elapsed")
 	}
 
 	// Probe fails again: cooldown doubles to 40s but caps at 25s.
 	b.Failure()
 	clock.Advance(26 * time.Second)
-	if ok, _ := b.Allow(); !ok {
+	if ok, _, _ := b.Allow(); !ok {
 		t.Fatal("probe rejected after capped cooldown elapsed")
 	}
 
@@ -112,7 +112,7 @@ func TestBreakerHalfOpenProbeAndBackoff(t *testing.T) {
 	}
 	b.Failure() // trip again: cooldown must be back to the initial 10s
 	clock.Advance(11 * time.Second)
-	if ok, _ := b.Allow(); !ok {
+	if ok, _, _ := b.Allow(); !ok {
 		t.Error("cooldown did not reset to initial after recovery")
 	}
 }
@@ -131,7 +131,7 @@ func TestBreakerLateFailuresWhileOpenAreIgnored(t *testing.T) {
 
 func TestNilBreakerAllowsEverything(t *testing.T) {
 	var b *Breaker
-	if ok, _ := b.Allow(); !ok {
+	if ok, _, _ := b.Allow(); !ok {
 		t.Error("nil breaker rejected")
 	}
 	b.Success()
@@ -189,4 +189,85 @@ func TestBucketDisabledAndNil(t *testing.T) {
 			t.Fatal("nil bucket rejected")
 		}
 	}
+}
+
+func TestBreakerCancelProbeReopensWithoutBackoff(t *testing.T) {
+	clock := newTestClock()
+	b := NewBreaker(BreakerOptions{Threshold: 1, Cooldown: 10 * time.Second, Now: clock.Now})
+	b.Failure() // trip 1
+	clock.Advance(11 * time.Second)
+	ok, probe, _ := b.Allow()
+	if !ok || !probe {
+		t.Fatalf("Allow after cooldown = (%v, %v), want an admitted probe", ok, probe)
+	}
+	// The probe's request is cancelled before observing backend health:
+	// the slot goes back and the breaker re-opens — without this, it
+	// would stay half-open rejecting everything forever.
+	b.CancelProbe()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after cancelled probe = %v, want open", got)
+	}
+	if b.Trips() != 1 {
+		t.Errorf("trips after cancelled probe = %d, want 1 (a cancellation is not a trip)", b.Trips())
+	}
+	if ok, _, _ := b.Allow(); ok {
+		t.Fatal("breaker admitted during the post-cancel cooldown")
+	}
+	// The cooldown must NOT have doubled: the original 10s still opens
+	// the next probe window.
+	clock.Advance(11 * time.Second)
+	ok, probe, _ = b.Allow()
+	if !ok || !probe {
+		t.Fatalf("Allow after post-cancel cooldown = (%v, %v), want a fresh probe", ok, probe)
+	}
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after healthy probe = %v, want closed", got)
+	}
+}
+
+func TestBreakerCancelProbeOutsideHalfOpenIsNoOp(t *testing.T) {
+	clock := newTestClock()
+	b := NewBreaker(BreakerOptions{Threshold: 2, Cooldown: 10 * time.Second, Now: clock.Now})
+	b.CancelProbe() // closed: nothing to release
+	if got := b.State(); got != BreakerClosed {
+		t.Errorf("state after closed-state CancelProbe = %v, want closed", got)
+	}
+	b.Failure()
+	b.Failure()     // trip
+	b.CancelProbe() // open: a straggler cancellation; ignore
+	if got := b.State(); got != BreakerOpen {
+		t.Errorf("state after open-state CancelProbe = %v, want open", got)
+	}
+	var nb *Breaker
+	nb.CancelProbe() // must not panic
+}
+
+func TestBucketRefund(t *testing.T) {
+	clock := newTestClock()
+	b := NewBucket(BucketOptions{Rate: 0.001, Burst: 2, Now: clock.Now})
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	// A later admission check shed the submission: the token comes back.
+	b.Refund()
+	if ok, _ := b.Allow(); !ok {
+		t.Error("refunded token not spendable")
+	}
+	// Refunds clamp at burst — they never mint capacity.
+	for i := 0; i < 5; i++ {
+		b.Refund()
+	}
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatalf("post-refund request %d rejected", i)
+		}
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Error("refunds minted tokens beyond burst")
+	}
+	var nb *Bucket
+	nb.Refund() // must not panic
 }

@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -155,37 +156,61 @@ func (s *State) Apply(rec Record) {
 	}
 }
 
+// maxJournalLine bounds one journal line; anything longer is treated as
+// corruption rather than buffered without limit.
+const maxJournalLine = 1 << 20
+
 // ReadState folds a journal stream into a State. A torn final line — the
 // signature of a crash mid-append — terminates the read cleanly; a
 // malformed line anywhere else is reported as an error so silent
 // corruption can't masquerade as a short journal.
 func ReadState(r io.Reader) (*State, error) {
+	s, _, err := readState(r)
+	return s, err
+}
+
+// readState is ReadState plus the byte offset just past the last intact
+// line, so OpenJournal can truncate a torn tail before appending.
+func readState(r io.Reader) (*State, int64, error) {
 	s := NewState()
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	br := bufio.NewReaderSize(r, 64*1024)
+	var pos, intact int64
 	sawTorn := false
 	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
+	for {
+		raw, err := br.ReadBytes('\n')
+		if len(raw) > 0 {
+			line++
+			pos += int64(len(raw))
+			body := bytes.TrimRight(raw, "\r\n")
+			switch {
+			case len(body) == 0:
+				if !sawTorn {
+					intact = pos
+				}
+			case sawTorn:
+				return nil, 0, fmt.Errorf("resilience: journal line %d: well-formed record after a torn line", line)
+			case len(body) > maxJournalLine:
+				return nil, 0, fmt.Errorf("resilience: journal line %d exceeds %d bytes", line, maxJournalLine)
+			default:
+				var rec Record
+				if jerr := json.Unmarshal(body, &rec); jerr != nil {
+					// Tolerate exactly one trailing partial write.
+					sawTorn = true
+				} else {
+					s.Apply(rec)
+					intact = pos
+				}
+			}
 		}
-		if sawTorn {
-			return nil, fmt.Errorf("resilience: journal line %d: well-formed record after a torn line", line)
+		if err == io.EOF {
+			break
 		}
-		var rec Record
-		if err := json.Unmarshal(raw, &rec); err != nil {
-			// Tolerate exactly one trailing partial write.
-			sawTorn = true
-			continue
+		if err != nil {
+			return nil, 0, fmt.Errorf("resilience: reading journal: %w", err)
 		}
-		s.Apply(rec)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("resilience: reading journal: %w", err)
-	}
-	return s, nil
+	return s, intact, nil
 }
 
 // Journal is an append-only JSONL write-ahead log. Append is safe for
@@ -203,18 +228,26 @@ func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
 
 // OpenJournal opens (creating if absent) the journal at path, folds any
 // existing records into a State, and returns the journal positioned for
-// appending.
+// appending. A torn final line left by a crash mid-append is tolerated
+// on read but must not survive into the append path: the file is
+// truncated back to its last intact line so the first post-crash Append
+// starts a fresh line instead of concatenating onto the partial record
+// (which would make the NEXT restart reject the journal as corrupt).
 func OpenJournal(path string) (*Journal, *State, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("resilience: opening journal: %w", err)
 	}
-	st, err := ReadState(f)
+	st, intact, err := readState(f)
 	if err != nil {
 		f.Close()
 		return nil, nil, err
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	if err := f.Truncate(intact); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("resilience: truncating torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(intact, io.SeekStart); err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("resilience: seeking journal: %w", err)
 	}

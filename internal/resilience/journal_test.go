@@ -106,6 +106,56 @@ func TestJournalToleratesTornTail(t *testing.T) {
 	}
 }
 
+// TestJournalTruncatesTornTailBeforeAppend is the post-crash poisoning
+// regression: OpenJournal must cut the torn fragment off the file so
+// the first append after the crash starts a fresh line. Without the
+// truncation, the append concatenates onto the fragment and the NEXT
+// restart rejects the whole journal as corrupt.
+func TestJournalTruncatesTornTailBeforeAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	full := `{"t":"run","id":"run-000001","app":"SRAD","policy":"baseline"}` + "\n" +
+		`{"t":"done","id":"run-000001","ed2":1.5}` + "\n" +
+		`{"t":"run","id":"run-torn","ap` // the crash happened mid-write
+	if err := os.WriteFile(path, []byte(full), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, st, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	if st.Records != 2 {
+		t.Fatalf("replayed %d records, want 2", st.Records)
+	}
+	// The post-crash daemon appends a new record and exits cleanly.
+	if err := j.Append(Record{T: RecRun, ID: "run-000002", App: "LUD", Policy: "baseline"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "run-torn") {
+		t.Errorf("torn fragment survived on disk:\n%s", raw)
+	}
+	// The second restart — the one the un-truncated append used to
+	// poison — must read every record back.
+	j2, st2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("journal poisoned by post-crash append: %v", err)
+	}
+	defer j2.Close()
+	if st2.Records != 3 || st2.Runs["run-000002"] == nil {
+		t.Errorf("second restart folded %d records (run-000002: %v), want 3 with run-000002 present",
+			st2.Records, st2.Runs["run-000002"])
+	}
+	if st2.Runs["run-000001"].Status != "done" {
+		t.Errorf("pre-crash outcome lost: %+v", st2.Runs["run-000001"])
+	}
+}
+
 func TestJournalRejectsMidStreamCorruption(t *testing.T) {
 	body := `{"t":"run","id":"run-000001"}` + "\n" +
 		`garbage garbage` + "\n" +

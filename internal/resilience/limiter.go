@@ -70,3 +70,16 @@ func (b *Bucket) Allow() (ok bool, retryAfter time.Duration) {
 	}
 	return false, wait
 }
+
+// Refund returns one token, undoing an Allow whose submission a later
+// admission check went on to shed — the request did no work, so it
+// should not count against the client's rate. Capped at burst, so
+// refunds never mint capacity. A nil bucket ignores it.
+func (b *Bucket) Refund() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens = min(b.burst, b.tokens+1)
+}

@@ -368,31 +368,42 @@ func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
 
 	// Admission is all-or-nothing: the whole matrix gets slots or the
 	// batch is shed with nothing scheduled.
-	if shed := s.admit(len(cells)); shed != nil {
+	probe, shed := s.admit(len(cells))
+	if shed != nil {
 		s.writeShed(w, shed)
 		return
 	}
+	var b *Batch
 	runs := make([]*Run, len(cells))
-	for i, c := range cells {
-		runs[i] = s.reg.create(c.app.Name, c.pol.Name())
-	}
-	s.retained.Set(float64(s.reg.size()))
-	b := s.batches.create(req.Apps, req.Policies, runs)
-	s.batchesTotal.Inc()
-	s.batchCells.Add(float64(len(cells)))
+	func() {
+		// admit left the drain read-lock held; release it only after the
+		// enqueues so shutdown cannot drain between reservation and send.
+		defer s.admitted()
+		for i, c := range cells {
+			runs[i] = s.reg.create(c.app.Name, c.pol.Name())
+		}
+		s.retained.Set(float64(s.reg.size()))
+		b = s.batches.create(req.Apps, req.Policies, runs)
+		s.batchesTotal.Inc()
+		s.batchCells.Add(float64(len(cells)))
 
-	// Journal the batch before its cells so replay never sees a cell
-	// pointing at an unknown batch, and enqueue after the records exist
-	// so a poller never sees a dangling ID. Admitted enqueues cannot
-	// block or fail.
-	s.journalBatch(b, &req, runs)
-	for i, c := range cells {
-		rr := RunRequest{App: c.app.Name, Policy: req.Policies[i%len(req.Policies)],
-			Config: req.Config, TDPWatts: req.TDPWatts,
-			FaultSeed: req.FaultSeed, FaultIntensity: req.FaultIntensity}
-		s.journalSubmit(runs[i].ID, c.app.Name, &rr, b.ID)
-		s.enqueue(s.newJob(jobCtx, runs[i], c.app, c.pol, opts))
-	}
+		// Journal the batch before its cells so replay never sees a cell
+		// pointing at an unknown batch, and enqueue after the records
+		// exist so a poller never sees a dangling ID. Admitted enqueues
+		// cannot block or fail.
+		s.journalBatch(b, &req, runs)
+		for i, c := range cells {
+			rr := RunRequest{App: c.app.Name, Policy: req.Policies[i%len(req.Policies)],
+				Config: req.Config, TDPWatts: req.TDPWatts,
+				FaultSeed: req.FaultSeed, FaultIntensity: req.FaultIntensity}
+			s.journalSubmit(runs[i].ID, c.app.Name, &rr, b.ID)
+			j := s.newJob(jobCtx, runs[i], c.app, c.pol, opts)
+			// The matrix shares one admission; its first cell carries the
+			// half-open probe slot if this submission was granted it.
+			j.probe = probe && i == 0
+			s.enqueue(j)
+		}
+	}()
 
 	if !wait {
 		writeJSON(w, http.StatusAccepted, b.JSON())

@@ -619,3 +619,111 @@ func chaosStatusOK(t *testing.T, what string, status int) {
 		t.Errorf("%s = %d, not an expected chaos status", what, status)
 	}
 }
+
+// TestCancelledProbeReleasesBreaker: a half-open probe whose run is
+// cancelled (here by the per-run deadline) resolves nothing about
+// backend health, so the probe slot must go back to the breaker —
+// re-open, retry later — instead of wedging it half-open forever with
+// every subsequent submission shed 503.
+func TestCancelledProbeReleasesBreaker(t *testing.T) {
+	const (
+		modeFail = iota
+		modeHang
+		modeHealthy
+	)
+	var mode atomic.Int32
+	var opts Options
+	opts.Workers = 1
+	opts.BreakerThreshold = 1
+	opts.BreakerCooldown = 20 * time.Millisecond
+	opts.RequestTimeout = 50 * time.Millisecond
+	opts.runFn = func(ctx context.Context, app *harmonia.Application, pol harmonia.Policy, ro ...harmonia.RunOption) (*session.Report, error) {
+		switch mode.Load() {
+		case modeFail:
+			return nil, fmt.Errorf("chaos: backend down")
+		case modeHang:
+			<-ctx.Done()
+			return nil, ctx.Err()
+		default:
+			return nil, nil
+		}
+	}
+	srv, ts, _ := newChaosServer(t, opts)
+
+	if status, _ := postRun(t, ts, `{"app":"SRAD","policy":"baseline"}`); status != http.StatusUnprocessableEntity {
+		t.Fatalf("tripping run = %d, want 422", status)
+	}
+	waitFor(t, 2*time.Second, "breaker to trip", func() bool {
+		return srv.breaker.State() == resilience.BreakerOpen
+	})
+
+	// The backend now hangs until cancelled: the next admitted
+	// submission is the half-open probe, and it dies by deadline.
+	mode.Store(modeHang)
+	waitFor(t, 5*time.Second, "a probe to be admitted and time out", func() bool {
+		status, run := postRun(t, ts, `{"app":"SRAD","policy":"baseline"}`)
+		return status == http.StatusUnprocessableEntity &&
+			strings.Contains(run.Error, "context deadline exceeded")
+	})
+	// The cancelled probe must have handed its slot back: the breaker
+	// re-opens rather than staying half-open. (Without the release this
+	// never converges — half-open persists and every request is shed.)
+	waitFor(t, 2*time.Second, "cancelled probe to re-open the breaker", func() bool {
+		return srv.breaker.State() == resilience.BreakerOpen
+	})
+
+	// Backend recovers: a later probe closes the breaker and service
+	// resumes — the wedge would make this time out.
+	mode.Store(modeHealthy)
+	waitFor(t, 5*time.Second, "breaker to close after recovery", func() bool {
+		status, _ := postRun(t, ts, `{"app":"SRAD","policy":"baseline"}`)
+		return status == http.StatusOK && srv.breaker.State() == resilience.BreakerClosed
+	})
+}
+
+// TestQueueFullShedDoesNotSpendRateToken: the queue bound is checked
+// before the token bucket, so a queue_full rejection leaves the
+// client's token for the retry once capacity returns. (The old order
+// debited the token first, double-punishing clients during overload.)
+func TestQueueFullShedDoesNotSpendRateToken(t *testing.T) {
+	release := make(chan struct{})
+	var opts Options
+	opts.Workers = 1
+	opts.QueueDepth = 1
+	opts.RatePerSec = 0.0001 // effectively no refill during the test
+	opts.RateBurst = 2
+	opts.runFn = func(ctx context.Context, app *harmonia.Application, pol harmonia.Policy, ro ...harmonia.RunOption) (*session.Report, error) {
+		select {
+		case <-release:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	srv, ts, _ := newChaosServer(t, opts)
+
+	// First submission spends one of the two tokens and fills the queue.
+	if status, _ := postRun(t, ts, `{"app":"SRAD","policy":"baseline","wait":false}`); status != http.StatusAccepted {
+		t.Fatalf("first submission = %d, want 202", status)
+	}
+	// Overflow: shed queue_full, and the second token must survive.
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+		strings.NewReader(`{"app":"SRAD","policy":"baseline","wait":false}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || !strings.Contains(string(body), "queue full") {
+		t.Fatalf("overflow submission = %d (%s), want 429 queue full", resp.StatusCode, body)
+	}
+
+	close(release)
+	waitFor(t, 5*time.Second, "queued run to finish", func() bool {
+		return srv.pending.Load() == 0
+	})
+	// Capacity is back and the retry still has its token.
+	if status, _ := postRun(t, ts, `{"app":"SRAD","policy":"baseline","wait":false}`); status != http.StatusAccepted {
+		t.Errorf("retry after queue_full shed = %d, want 202 (the shed must not have spent the rate token)", status)
+	}
+}

@@ -130,8 +130,10 @@ type Server struct {
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 	// runsWG tracks admitted runs to their terminal state; drain waits
-	// on it. drainMu orders its Add (under RLock, in admit) against
-	// Shutdown's Wait (under Lock) so the pair is race-free.
+	// on it. drainMu orders admission — the Add AND the enqueue, both
+	// under the RLock admit takes and admitted releases — against
+	// Shutdown's Lock, so once shutdown begins no admitted job can land
+	// in the channel behind the drain.
 	runsWG    sync.WaitGroup
 	drainMu   sync.RWMutex
 	draining  bool
@@ -163,7 +165,9 @@ type Server struct {
 }
 
 // job is one queued evaluation. cancel, when non-nil, releases the
-// per-run deadline timer and must run once the job is terminal.
+// per-run deadline timer and must run once the job is terminal. probe
+// marks the job that holds the circuit breaker's half-open probe slot;
+// its outcome (or cancellation) must resolve the slot.
 type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -171,6 +175,7 @@ type job struct {
 	app    *harmonia.Application
 	pol    harmonia.Policy
 	opts   []harmonia.RunOption
+	probe  bool
 }
 
 // New returns a server over the given system and starts its worker
@@ -335,19 +340,29 @@ func (s *Server) shutdown(ctx context.Context) error {
 	s.wg.Wait()
 
 	// Fail whatever never got picked up (forced path only) so no waiter
-	// hangs, then settle the remaining accounting.
+	// hangs. Admitted enqueues happen under the drain read-lock, so every
+	// admitted job is already executed or sitting in the channel — but
+	// the journal-replay resubmitter races its sends against the
+	// base-context cancellation, so drain and wait concurrently until
+	// the run accounting settles instead of trusting one pass over the
+	// channel.
+	settled := make(chan struct{})
+	go func() {
+		s.runsWG.Wait()
+		close(settled)
+	}()
 drain:
 	for {
 		select {
 		case j := <-s.jobs:
+			s.releaseProbe(j)
 			j.run.finish(nil, errors.New("server shut down before the run was scheduled"), s.now())
 			s.journalOutcome(j.run)
 			s.jobDone(j)
-		default:
+		case <-settled:
 			break drain
 		}
 	}
-	s.runsWG.Wait()
 	// Every cell is terminal now, so each batch watcher exits; waiting
 	// here is the goroutine-leak gate.
 	s.batches.wait()
@@ -392,7 +407,12 @@ func (s *Server) execute(j *job) {
 		s.breakerFeed(false)
 	case err != nil:
 		j.run.finish(nil, err, now)
-		if !isCancellation(err) {
+		if isCancellation(err) {
+			// A cancelled run said nothing about backend health; if it
+			// held the half-open probe slot, hand the slot back so the
+			// breaker doesn't wedge half-open forever.
+			s.releaseProbe(j)
+		} else {
 			s.breakerFeed(false)
 		}
 	default:
@@ -450,6 +470,18 @@ func (s *Server) breakerFeed(ok bool) {
 	s.breakerTrips.Set(float64(s.breaker.Trips()))
 }
 
+// releaseProbe hands a job's half-open probe slot back to the breaker
+// when the job resolved nothing about backend health (cancellation, or
+// failed during shutdown without ever running). A no-op for non-probe
+// jobs.
+func (s *Server) releaseProbe(j *job) {
+	if !j.probe || s.breaker == nil {
+		return
+	}
+	s.breaker.CancelProbe()
+	s.breakerState.Set(float64(s.breaker.State()))
+}
+
 // shedError is an admission rejection: which HTTP status to shed with,
 // the bounded-cardinality reason label, and the Retry-After hint.
 type shedError struct {
@@ -462,41 +494,60 @@ type shedError struct {
 func (e *shedError) Error() string { return e.msg }
 
 // admit reserves n admission slots or explains the rejection. On
-// success the runs are committed: n runsWG entries and n pending slots
-// are held, and the caller must enqueue exactly n jobs (enqueues of
-// admitted jobs cannot fail or block). Checks run cheapest-first and
-// the breaker last so a half-open probe slot is only consumed by a
-// submission that will actually execute.
-func (s *Server) admit(n int) *shedError {
+// success the runs are committed — n runsWG entries and n pending slots
+// are held, probe reports whether this submission owns the breaker's
+// half-open probe slot (assign it to exactly one of the jobs), and the
+// drain read-lock is STILL HELD: the caller must enqueue exactly n jobs
+// and then call admitted(), so every admitted enqueue is ordered before
+// shutdown can start draining (enqueues of admitted jobs cannot fail or
+// block). Checks run cheapest-first; the queue bound precedes the token
+// bucket so a queue_full shed spends no token, and the breaker goes
+// last so its probe slot is only consumed by a submission that will
+// actually execute (a token spent on a breaker rejection is refunded).
+func (s *Server) admit(n int) (probe bool, shed *shedError) {
 	s.drainMu.RLock()
-	defer s.drainMu.RUnlock()
 	if s.draining {
-		return &shedError{status: http.StatusServiceUnavailable, reason: "draining",
+		s.drainMu.RUnlock()
+		return false, &shedError{status: http.StatusServiceUnavailable, reason: "draining",
 			retryAfter: time.Second, msg: "server is draining for shutdown"}
-	}
-	if ok, retry := s.limiter.Allow(); !ok {
-		return &shedError{status: http.StatusTooManyRequests, reason: "rate_limited",
-			retryAfter: retry, msg: "rate limit exceeded"}
 	}
 	if p := s.pending.Add(int64(n)); p > s.queueDepth {
 		s.pending.Add(int64(-n))
-		return &shedError{status: http.StatusTooManyRequests, reason: "queue_full",
+		s.drainMu.RUnlock()
+		return false, &shedError{status: http.StatusTooManyRequests, reason: "queue_full",
 			retryAfter: time.Second,
 			msg:        fmt.Sprintf("admission queue full (%d of %d slots pending)", p-int64(n), s.queueDepth)}
 	}
+	if ok, retry := s.limiter.Allow(); !ok {
+		s.pending.Add(int64(-n))
+		s.drainMu.RUnlock()
+		return false, &shedError{status: http.StatusTooManyRequests, reason: "rate_limited",
+			retryAfter: retry, msg: "rate limit exceeded"}
+	}
 	if s.breaker != nil {
-		if ok, retry := s.breaker.Allow(); !ok {
+		ok, pr, retry := s.breaker.Allow()
+		if !ok {
 			s.pending.Add(int64(-n))
+			s.limiter.Refund()
 			s.breakerState.Set(float64(s.breaker.State()))
-			return &shedError{status: http.StatusServiceUnavailable, reason: "breaker_open",
+			s.drainMu.RUnlock()
+			return false, &shedError{status: http.StatusServiceUnavailable, reason: "breaker_open",
 				retryAfter: retry, msg: "circuit breaker open: backend is failing"}
 		}
+		probe = pr
 		s.breakerState.Set(float64(s.breaker.State()))
 	}
 	s.runsWG.Add(n)
 	s.inflight.Add(float64(n))
-	return nil
+	return probe, nil
 }
+
+// admitted releases the drain read-lock a successful admit left held.
+// Call it once the admitted jobs are enqueued; holding the lock across
+// the enqueue is what stops shutdown's forced path from draining the
+// channel between a reservation and its enqueue and then hanging on the
+// stranded job's runsWG entry.
+func (s *Server) admitted() { s.drainMu.RUnlock() }
 
 // enqueue hands an admitted job to the pool. pending <= queueDepth ==
 // cap(jobs) and running jobs have already left the channel, so the send
@@ -726,20 +777,29 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 	}
 	wait := req.Wait == nil || *req.Wait
 
-	if shed := s.admit(1); shed != nil {
-		s.writeShed(w, shed)
-		return
-	}
-	run := s.reg.create(req.App, pol.Name())
-	s.retained.Set(float64(s.reg.size()))
-	s.journalSubmit(run.ID, req.App, &req, "")
 	jobCtx := s.baseCtx
 	if wait {
 		// A synchronous caller that disconnects cancels its run at the
 		// next kernel boundary; detached runs only stop at shutdown.
 		jobCtx = r.Context()
 	}
-	s.enqueue(s.newJob(jobCtx, run, app, pol, opts))
+	probe, shed := s.admit(1)
+	if shed != nil {
+		s.writeShed(w, shed)
+		return
+	}
+	var run *Run
+	func() {
+		// admit left the drain read-lock held; release it only after the
+		// enqueue so shutdown cannot drain between reservation and send.
+		defer s.admitted()
+		run = s.reg.create(req.App, pol.Name())
+		s.retained.Set(float64(s.reg.size()))
+		s.journalSubmit(run.ID, req.App, &req, "")
+		j := s.newJob(jobCtx, run, app, pol, opts)
+		j.probe = probe
+		s.enqueue(j)
+	}()
 	if !wait {
 		writeJSON(w, http.StatusAccepted, run.JSON())
 		return

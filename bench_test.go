@@ -13,9 +13,12 @@ import (
 
 	"harmonia/internal/experiments"
 	"harmonia/internal/gpusim"
+	"harmonia/internal/hw"
 	"harmonia/internal/oracle"
 	"harmonia/internal/power"
 	"harmonia/internal/simcache"
+	"harmonia/internal/sweep"
+	"harmonia/internal/trace"
 )
 
 // The experiment environment is shared across benchmarks: predictor
@@ -417,11 +420,15 @@ func BenchmarkOracleExhaustiveSearch(b *testing.B) {
 
 // oracleSweep builds a fresh Oracle (so its per-kernel decision cache
 // cannot hide the sweep) and decides every kernel of the app, forcing a
-// full exhaustive search over hw.ConfigSpace per kernel.
-func oracleSweep(b *testing.B, sim gpusim.Runner) {
+// full exhaustive search over hw.ConfigSpace per kernel. A non-nil rec
+// attaches the span recorder, the way a traced served run would.
+func oracleSweep(b *testing.B, sim gpusim.Runner, rec *trace.Recorder) {
 	b.Helper()
 	app := App("LUD")
 	o := oracle.New(sim, power.Default(), app)
+	if rec != nil {
+		o.AttachTracer(rec)
+	}
 	for _, k := range app.Kernels {
 		o.Decide(k.Name, 0)
 	}
@@ -430,19 +437,66 @@ func oracleSweep(b *testing.B, sim gpusim.Runner) {
 func BenchmarkOracleSweepUncached(b *testing.B) {
 	sim := gpusim.Default()
 	for i := 0; i < b.N; i++ {
-		oracleSweep(b, sim)
+		oracleSweep(b, sim, nil)
 	}
 }
 
 func BenchmarkOracleSweepCached(b *testing.B) {
 	// One memo shared across iterations: the first sweep populates it,
 	// every later sweep answers from cache — the steady state a served
-	// deployment reaches after its first oracle run.
+	// deployment reaches after its first oracle run. No recorder is
+	// attached, so this measures the disabled-tracing (nil fast path)
+	// cost; scripts/bench.sh gates BenchmarkOracleSweepCachedTraced
+	// against it at <5% overhead, and the disabled path is a strict
+	// subset of the traced one.
 	runner := simcache.For(gpusim.Default(), simcache.New())
-	oracleSweep(b, runner) // warm
+	oracleSweep(b, runner, nil) // warm
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		oracleSweep(b, runner)
+		oracleSweep(b, runner, nil)
+	}
+}
+
+// The disabled-tracing gate: sweep.MinTraced with a nil span must cost
+// the same as plain sweep.Min over a warm memo — the nil fast path is
+// one branch. scripts/bench.sh asserts the pair stays within 5%.
+
+func cachedSweepEval(b *testing.B) ([]hw.Config, sweep.Eval) {
+	b.Helper()
+	runner := simcache.For(gpusim.Default(), simcache.New())
+	k := AllKernels()[0]
+	space := hw.ConfigSpace()
+	eval := func(cfg hw.Config) float64 { return runner.Run(k, 0, cfg).Time }
+	sweep.Min(space, 1, eval) // warm the memo
+	return space, eval
+}
+
+func BenchmarkCachedSweepMin(b *testing.B) {
+	space, eval := cachedSweepEval(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep.Min(space, 1, eval)
+	}
+}
+
+func BenchmarkCachedSweepMinNilTraced(b *testing.B) {
+	space, eval := cachedSweepEval(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep.MinTraced(nil, space, 1, eval)
+	}
+}
+
+func BenchmarkOracleSweepCachedTraced(b *testing.B) {
+	// The same steady-state sweep with a live span recorder: each
+	// iteration records one decision span (with its sweep child and
+	// argmin attributes) per kernel. A fresh recorder per iteration
+	// keeps the span slice from growing across b.N.
+	runner := simcache.For(gpusim.Default(), simcache.New())
+	oracleSweep(b, runner, nil) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracleSweep(b, runner, trace.New(uint64(i)+1))
 	}
 }
 

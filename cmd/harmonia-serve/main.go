@@ -9,6 +9,7 @@
 //	               [-pretrain] [-simcache] [-journal wal.jsonl]
 //	               [-request-timeout 0] [-drain-timeout 30s]
 //	               [-rate 0] [-burst 0] [-breaker-threshold 5]
+//	               [-debug-addr localhost:8793]
 //
 // Endpoints:
 //
@@ -18,6 +19,8 @@
 //	GET  /v1/batch/{id}      one batch's aggregate and per-cell status
 //	GET  /v1/runs/{id}       one run's report
 //	GET  /v1/runs/{id}/trace the 1 kHz power trace (CSV; ?format=json)
+//	GET  /v1/runs/{id}/spans the run's span tree (?format=chrome for
+//	                         Chrome trace-event JSON; open in Perfetto)
 //	GET  /v1/apps            the 14-application evaluation suite
 //	GET  /v1/configs         the legal hardware configuration space
 //	GET  /healthz            liveness (200 even while draining)
@@ -72,6 +75,7 @@ func main() {
 		brkThresh   = flag.Int("breaker-threshold", 5, "consecutive backend failures tripping the circuit breaker (negative = disabled)")
 		brkCooldown = flag.Duration("breaker-cooldown", 10*time.Second, "initial breaker fail-fast window, doubling per failed probe")
 		httpTimeout = flag.Duration("http-timeout", time.Minute, "HTTP read/write/idle timeouts for slow-client hardening (0 = none)")
+		debugAddr   = flag.String("debug-addr", "", "operator debug listener for net/http/pprof and expvar, e.g. localhost:8793 (empty = disabled; keep it off the service port)")
 	)
 	flag.Parse()
 
@@ -137,6 +141,25 @@ func main() {
 		httpSrv.IdleTimeout = 2 * *httpTimeout
 	}
 
+	// The debug mux (pprof, expvar) binds to its own listener so
+	// profiling endpoints never share the service port. Errors here are
+	// fatal: an operator who asked for -debug-addr wants to know it is
+	// not serving, not discover so mid-incident.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           serve.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Fatalf("debug listener on %s: %v", *debugAddr, err)
+			}
+		}()
+		logger.Printf("debug endpoints (pprof, expvar) on %s", *debugAddr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -163,6 +186,9 @@ func main() {
 		defer cancelHTTP()
 		if err := httpSrv.Shutdown(httpCtx); err != nil {
 			logger.Printf("http shutdown: %v", err)
+		}
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(httpCtx)
 		}
 	case err := <-errc:
 		srv.Close()

@@ -1,0 +1,66 @@
+// v1 compatibility surface. Every deprecated wrapper the v2 API keeps
+// alive lives in this file, nowhere else, so the compatibility debt is
+// auditable at a glance.
+//
+// Deprecation schedule (also in README "API stability"): the wrappers
+// below are frozen — they get bug fixes but no new behaviour — and will
+// be removed in the next major version. Migrate as follows:
+//
+//	Predictor()      → TrainedPredictor()           (error, not panic)
+//	UsePredictor(p)  → NewSystem(WithPredictor(p))  (construction-time)
+//	WithFaults(fc)   → WithFaultInjection(fc) at construction,
+//	                   or RunWithFaults(fc) per run
+//	WithoutFaults()  → RunWithoutFaults() per run
+package harmonia
+
+// Predictor returns the system's sensitivity predictor, training it on
+// first use.
+//
+// Deprecated: Predictor panics if training fails. Use TrainedPredictor,
+// which returns the error instead.
+func (s *System) Predictor() *Predictor {
+	// The default training set is fixed and known good, so the panic
+	// path is unreachable in practice.
+	return must(s.TrainedPredictor())
+}
+
+// UsePredictor installs a custom predictor (e.g. one trained with
+// TrainPredictor on user workloads).
+//
+// Deprecated: prefer the construction option WithPredictor, which
+// cannot race with runs already in flight.
+func (s *System) UsePredictor(p *Predictor) {
+	s.predMu.Lock()
+	s.pred = p
+	s.predMu.Unlock()
+}
+
+// WithFaults arms the platform fault-injection layer: every subsequent
+// Run wraps the simulated hardware in a fresh, seed-deterministic
+// injector built from fc, so the policy and the DAQ observe degraded
+// inputs (noisy/stale counters, stuck DPM transitions, thermal
+// throttles, trace dropout) while the report keeps recording the true
+// physics. Each Run replays the same fault sequence for the same
+// workload and policy, which makes A/B policy comparisons under
+// identical faults meaningful. It returns s for chaining; use
+// WithoutFaults to disarm.
+//
+// Deprecated: WithFaults mutates shared System state. Prefer the
+// construction option WithFaultInjection, or the per-run option
+// RunWithFaults, both of which are safe while other runs are in flight.
+func (s *System) WithFaults(fc FaultConfig) *System {
+	s.faultsMu.Lock()
+	s.faults = &fc
+	s.faultsMu.Unlock()
+	return s
+}
+
+// WithoutFaults disarms the fault-injection layer.
+//
+// Deprecated: see WithFaults; prefer RunWithoutFaults per run.
+func (s *System) WithoutFaults() *System {
+	s.faultsMu.Lock()
+	s.faults = nil
+	s.faultsMu.Unlock()
+	return s
+}

@@ -1,0 +1,43 @@
+package harmonia
+
+import (
+	"errors"
+	"fmt"
+
+	"harmonia/internal/hw"
+)
+
+// Sentinel errors for the failure classes callers branch on. Every API
+// that can hit one of these wraps it, so errors.Is works across layers:
+// TrainPredictor and the *E controller constructors wrap
+// ErrTrainingFailed, ParseConfig wraps ErrInvalidConfig, and the serve
+// layer wraps ErrRunNotFound and ErrShedding — with the HTTP status for
+// each class mapped in exactly one place there (statusFor).
+var (
+	// ErrTrainingFailed marks a sensitivity-predictor training failure
+	// (lazy training in TrainedPredictor, or an explicit TrainPredictor
+	// call on a degenerate training set).
+	ErrTrainingFailed = errors.New("harmonia: predictor training failed")
+	// ErrInvalidConfig marks a hardware configuration that is not on
+	// the platform's legal grid (bad ParseConfig input, out-of-range CU
+	// count or frequency).
+	ErrInvalidConfig = errors.New("harmonia: invalid hardware configuration")
+	// ErrRunNotFound marks a lookup of a run (or batch) ID the serve
+	// registry does not hold — expired, evicted, or never created.
+	ErrRunNotFound = errors.New("harmonia: run not found")
+	// ErrShedding marks a submission rejected by the serve layer's
+	// admission control (draining, queue full, rate limited, or circuit
+	// breaker open) rather than failed by the backend.
+	ErrShedding = errors.New("harmonia: submission shed by admission control")
+)
+
+// ParseConfig parses a configuration in CUs/cuMHz/memMHz form, e.g.
+// "16/700/925", and validates it against the platform's legal grid. The
+// error wraps ErrInvalidConfig.
+func ParseConfig(s string) (Config, error) {
+	cfg, err := hw.ParseConfig(s)
+	if err != nil {
+		return Config{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	return cfg, nil
+}

@@ -30,6 +30,7 @@ package harmonia
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"sync"
 
@@ -48,6 +49,7 @@ import (
 	"harmonia/internal/session"
 	"harmonia/internal/simcache"
 	"harmonia/internal/telemetry"
+	"harmonia/internal/trace"
 	"harmonia/internal/workloads"
 
 	powermodel "harmonia/internal/power"
@@ -281,36 +283,20 @@ func (s *System) TrainedPredictor() (*Predictor, error) {
 	return s.pred, nil
 }
 
-// Predictor returns the system's sensitivity predictor, training it on
-// first use.
-//
-// Deprecated: Predictor panics if training fails. Use TrainedPredictor,
-// which returns the error instead.
-func (s *System) Predictor() *Predictor {
-	p, err := s.TrainedPredictor()
+// must unwraps a (value, error) constructor result for the panicking
+// convenience variants: every panicking constructor is exactly
+// must(itsEVariant()), so the two spellings cannot drift apart.
+func must[T any](v T, err error) T {
 	if err != nil {
-		panic(err) // the default training set is fixed and known good
+		panic(err)
 	}
-	return p
-}
-
-// UsePredictor installs a custom predictor (e.g. one trained with
-// TrainPredictor on user workloads).
-//
-// Deprecated: prefer the construction option WithPredictor, which
-// cannot race with runs already in flight.
-func (s *System) UsePredictor(p *Predictor) {
-	s.predMu.Lock()
-	s.pred = p
-	s.predMu.Unlock()
+	return v
 }
 
 // Harmonia returns a fresh Harmonia controller (coarse-grain plus
 // fine-grain tuning) bound to this system's predictor, panicking if
 // lazy training fails; HarmoniaE returns the error instead.
-func (s *System) Harmonia() *Controller {
-	return core.New(core.Options{Predictor: s.Predictor()})
-}
+func (s *System) Harmonia() *Controller { return must(s.HarmoniaE()) }
 
 // HarmoniaE is Harmonia with the lazy-training error returned rather
 // than panicked (the v2 style; the E suffix mirrors the template
@@ -327,10 +313,7 @@ func (s *System) HarmoniaE() (*Controller, error) {
 // options predictor defaults to the system's. Panics if lazy training
 // fails; HarmoniaWithE returns the error instead.
 func (s *System) HarmoniaWith(opts ControllerOptions) *Controller {
-	if opts.Predictor == nil {
-		opts.Predictor = s.Predictor()
-	}
-	return core.New(opts)
+	return must(s.HarmoniaWithE(opts))
 }
 
 // HarmoniaWithE is HarmoniaWith with the lazy-training error returned
@@ -349,9 +332,7 @@ func (s *System) HarmoniaWithE(opts ControllerOptions) (*Controller, error) {
 // CGOnly returns the coarse-grain-only variant used in the paper's CG
 // bars (Figures 10-13). Panics if lazy training fails; CGOnlyE returns
 // the error instead.
-func (s *System) CGOnly() *Controller {
-	return core.New(core.Options{Predictor: s.Predictor(), DisableFG: true})
-}
+func (s *System) CGOnly() *Controller { return must(s.CGOnlyE()) }
 
 // CGOnlyE is CGOnly with the lazy-training error returned rather than
 // panicked.
@@ -366,9 +347,7 @@ func (s *System) CGOnlyE() (*Controller, error) {
 // ComputeDVFSOnly returns the compute-frequency-only policy of the
 // paper's Section 7.2 study. Panics if lazy training fails;
 // ComputeDVFSOnlyE returns the error instead.
-func (s *System) ComputeDVFSOnly() *Controller {
-	return core.NewComputeOnly(s.Predictor())
-}
+func (s *System) ComputeDVFSOnly() *Controller { return must(s.ComputeDVFSOnlyE()) }
 
 // ComputeDVFSOnlyE is ComputeDVFSOnly with the lazy-training error
 // returned rather than panicked.
@@ -404,36 +383,6 @@ func (s *System) Oracle(apps ...*Application) Policy {
 	return oracle.New(s.runner(), s.Power, apps...)
 }
 
-// WithFaults arms the platform fault-injection layer: every subsequent
-// Run wraps the simulated hardware in a fresh, seed-deterministic
-// injector built from fc, so the policy and the DAQ observe degraded
-// inputs (noisy/stale counters, stuck DPM transitions, thermal
-// throttles, trace dropout) while the report keeps recording the true
-// physics. Each Run replays the same fault sequence for the same
-// workload and policy, which makes A/B policy comparisons under
-// identical faults meaningful. It returns s for chaining; use
-// WithoutFaults to disarm.
-//
-// Deprecated: WithFaults mutates shared System state. Prefer the
-// construction option WithFaultInjection, or the per-run option
-// RunWithFaults, both of which are safe while other runs are in flight.
-func (s *System) WithFaults(fc FaultConfig) *System {
-	s.faultsMu.Lock()
-	s.faults = &fc
-	s.faultsMu.Unlock()
-	return s
-}
-
-// WithoutFaults disarms the fault-injection layer.
-//
-// Deprecated: see WithFaults; prefer RunWithoutFaults per run.
-func (s *System) WithoutFaults() *System {
-	s.faultsMu.Lock()
-	s.faults = nil
-	s.faultsMu.Unlock()
-	return s
-}
-
 // faultConfig snapshots the armed fault configuration, so a run holds
 // an immutable copy even if WithFaults/WithoutFaults race with it.
 func (s *System) faultConfig() *faults.Config {
@@ -459,6 +408,7 @@ type RunOption func(*runSettings)
 
 type runSettings struct {
 	faults *faults.Config
+	tracer *trace.Recorder
 }
 
 // RunWithFaults executes this run under a fresh, seed-deterministic
@@ -474,6 +424,29 @@ func RunWithoutFaults() RunOption {
 	return func(rs *runSettings) { rs.faults = nil }
 }
 
+// RunWithTrace records this run's span tree — run, kernel, and
+// decide/simulate/observe phase spans, plus the policy's decision spans
+// — onto rec (see NewTraceRecorder). Tracing is pure observation: the
+// traced run's Report is bit-identical to an untraced one, and two
+// same-seed recorders over the same run produce byte-identical span
+// trees (given the same clock).
+func RunWithTrace(rec *TraceRecorder) RunOption {
+	return func(rs *runSettings) { rs.tracer = rec }
+}
+
+// TraceRecorder collects a run's hierarchical span tree; TraceSnapshot
+// is its exported copy, serializable as native JSON (WriteJSON) or
+// Chrome trace-event JSON (WriteChrome, loadable in Perfetto).
+type (
+	TraceRecorder = trace.Recorder
+	TraceSnapshot = trace.Snapshot
+)
+
+// NewTraceRecorder returns a span recorder whose span IDs are derived
+// deterministically from seed: same seed, same run, same clock →
+// byte-identical span trees.
+func NewTraceRecorder(seed uint64) *TraceRecorder { return trace.New(seed) }
+
 // RunContext executes the application under the policy and returns the
 // report. Cancellation is honoured at every kernel-invocation boundary:
 // a canceled context stops the run before the next kernel launches and
@@ -486,7 +459,7 @@ func (s *System) RunContext(ctx context.Context, app *Application, p Policy, opt
 	for _, opt := range opts {
 		opt(&rs)
 	}
-	sess := &session.Session{Sim: s.runner(), Power: s.Power, Policy: p, Telemetry: s.telemetry}
+	sess := &session.Session{Sim: s.runner(), Power: s.Power, Policy: p, Telemetry: s.telemetry, Tracer: rs.tracer}
 	if rs.faults != nil && rs.faults.Enabled() {
 		sess.Faults = faults.New(*rs.faults)
 		// Fault-injected runs bypass the simulation memo: the injected
@@ -506,12 +479,7 @@ func (s *System) Run(app *Application, p Policy) (*Report, error) {
 // disabled: the un-armored Algorithm 1 loop, kept as the comparison
 // point of the robustness study. Panics if lazy training fails;
 // HarmoniaNaiveE returns the error instead.
-func (s *System) HarmoniaNaive() *Controller {
-	return core.New(core.Options{
-		Predictor: s.Predictor(),
-		Robust:    core.RobustOptions{Disabled: true},
-	})
-}
+func (s *System) HarmoniaNaive() *Controller { return must(s.HarmoniaNaiveE()) }
 
 // HarmoniaNaiveE is HarmoniaNaive with the lazy-training error returned
 // rather than panicked.
@@ -528,9 +496,13 @@ func (s *System) HarmoniaNaiveE() (*Controller, error) {
 
 // TrainPredictor trains sensitivity models on the given kernels using
 // this system's simulator (Section 4's methodology). Use it to extend the
-// predictor to custom workloads.
+// predictor to custom workloads. A failure wraps ErrTrainingFailed.
 func (s *System) TrainPredictor(kernels []*Kernel) (*Predictor, error) {
-	return sensitivity.Train(sensitivity.BuildConfigTrainingSet(s.runner(), kernels))
+	p, err := sensitivity.Train(sensitivity.BuildConfigTrainingSet(s.runner(), kernels))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTrainingFailed, err)
+	}
+	return p, nil
 }
 
 // Lab returns an experiments environment sharing this system's models

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+
+	"harmonia/internal/trace"
 )
 
 // Workers clamps a requested worker count against the job count: zero or
@@ -44,6 +46,13 @@ func Workers(workers, n int) int {
 //
 // A canceled parent context stops unstarted jobs and returns ctx.Err()
 // unless an earlier job error takes precedence by input order.
+//
+// When ctx carries a trace span (trace.NewContext), every executed job
+// is recorded as a "cell" child span under it — index, and the error
+// text on failure. The spans are pure observation and do not change
+// scheduling or results; under workers > 1 their start order follows
+// scheduling, so traced parallel runs have deterministic results but
+// scheduling-ordered span sequences.
 func Map[J, R any](ctx context.Context, workers int, jobs []J, fn func(ctx context.Context, i int, job J) (R, error)) ([]R, error) {
 	out := make([]R, len(jobs))
 	if len(jobs) == 0 {
@@ -51,9 +60,21 @@ func Map[J, R any](ctx context.Context, workers int, jobs []J, fn func(ctx conte
 	}
 	errs := make([]error, len(jobs))
 	workers = Workers(workers, len(jobs))
+	root := trace.FromContext(ctx)
 
 	jobCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	runCell := func(i int) {
+		cs := root.Child("cell")
+		cs.Int("index", int64(i))
+		out[i], errs[i] = fn(jobCtx, i, jobs[i])
+		if errs[i] != nil {
+			cs.Attr("error", errs[i].Error())
+			cancel()
+		}
+		cs.End()
+	}
 
 	if workers == 1 {
 		for i := range jobs {
@@ -61,10 +82,7 @@ func Map[J, R any](ctx context.Context, workers int, jobs []J, fn func(ctx conte
 				errs[i] = err
 				break
 			}
-			out[i], errs[i] = fn(jobCtx, i, jobs[i])
-			if errs[i] != nil {
-				cancel()
-			}
+			runCell(i)
 		}
 		return out, firstError(errs)
 	}
@@ -80,10 +98,7 @@ func Map[J, R any](ctx context.Context, workers int, jobs []J, fn func(ctx conte
 					errs[i] = err
 					continue
 				}
-				out[i], errs[i] = fn(jobCtx, i, jobs[i])
-				if errs[i] != nil {
-					cancel()
-				}
+				runCell(i)
 			}
 		}()
 	}

@@ -161,6 +161,11 @@ func DeterministicPackages() []string {
 		"harmonia/internal/policy",
 		"harmonia/internal/sensitivity",
 		"harmonia/internal/experiments",
+		// trace promises byte-identical span trees for same-seed runs, so
+		// it is held to the same standard; its single sanctioned exception
+		// — the injectable clock's wall-time default — carries inline
+		// ignore directives rather than a package-wide exemption.
+		"harmonia/internal/trace",
 	}
 }
 

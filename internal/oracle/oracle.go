@@ -14,6 +14,7 @@ import (
 	"harmonia/internal/power"
 	"harmonia/internal/simcache"
 	"harmonia/internal/sweep"
+	"harmonia/internal/trace"
 	"harmonia/internal/workloads"
 )
 
@@ -69,8 +70,9 @@ type Oracle struct {
 	memo  *simcache.Cache
 	model *gpusim.Model
 
-	mu    sync.Mutex
-	cache map[cacheKey]hw.Config
+	mu     sync.Mutex
+	cache  map[cacheKey]hw.Config
+	tracer *trace.Recorder
 }
 
 type cacheKey struct {
@@ -116,18 +118,43 @@ func (o *Oracle) Name() string {
 	return "oracle-" + o.objective.String()
 }
 
+// AttachTracer implements trace.Traceable: decision spans — one per
+// Decide, annotated with how the answer was produced (local cache, the
+// shared decision memo, or a fresh exhaustive sweep) — are recorded
+// under rec's ambient parent. Tracing is pure observation; decisions
+// are identical with or without a recorder.
+func (o *Oracle) AttachTracer(rec *trace.Recorder) {
+	o.mu.Lock()
+	o.tracer = rec
+	o.mu.Unlock()
+}
+
 // Decide implements policy.Policy: the ED²-minimal configuration for this
 // exact kernel invocation, found by exhaustive profiling.
 func (o *Oracle) Decide(kernel string, iter int) hw.Config {
 	key := cacheKey{kernel, iter}
 	o.mu.Lock()
 	cfg, ok := o.cache[key]
+	tracer := o.tracer
 	o.mu.Unlock()
+	// sp != nil guards below keep the untraced path free of the
+	// allocation the Config.String() arguments would otherwise cost.
+	sp := tracer.StartAmbient("oracle.decide")
+	if sp != nil {
+		sp.Attr("kernel", kernel).Int("iter", int64(iter))
+	}
+	defer sp.End()
 	if ok {
+		if sp != nil {
+			sp.Attr("source", "decision-cache").Attr("config", cfg.String())
+		}
 		return cfg
 	}
 	k, ok := o.kernels[kernel]
 	if !ok {
+		if sp != nil {
+			sp.Attr("source", "unknown-kernel").Attr("config", hw.MaxConfig().String())
+		}
 		return hw.MaxConfig()
 	}
 	// A shared decision memo may already hold this sweep's argmin —
@@ -138,6 +165,9 @@ func (o *Oracle) Decide(kernel string, iter int) hw.Config {
 			o.mu.Lock()
 			o.cache[key] = cfg
 			o.mu.Unlock()
+			if sp != nil {
+				sp.Attr("source", "memo").Attr("config", cfg.String())
+			}
 			return cfg
 		}
 	}
@@ -146,7 +176,7 @@ func (o *Oracle) Decide(kernel string, iter int) hw.Config {
 	// deterministic earliest-index tie-breaking. The lock is NOT held
 	// across the sweep: concurrent callers may race to compute the same
 	// key, but the sweep is deterministic so both write the same value.
-	best, _, ok := sweep.Min(o.space, o.workers, func(cfg hw.Config) float64 {
+	best, _, ok := sweep.MinTraced(sp, o.space, o.workers, func(cfg hw.Config) float64 {
 		return o.evaluate(k, iter, cfg)
 	})
 	if !ok {
@@ -158,6 +188,9 @@ func (o *Oracle) Decide(kernel string, iter int) hw.Config {
 	o.mu.Lock()
 	o.cache[key] = best
 	o.mu.Unlock()
+	if sp != nil {
+		sp.Attr("source", "sweep").Attr("config", best.String())
+	}
 	return best
 }
 

@@ -345,7 +345,7 @@ func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
 			rr := RunRequest{App: appName, Policy: polName, Config: req.Config, TDPWatts: req.TDPWatts}
 			pol, msg, err := s.buildPolicy(&rr, app)
 			if err != nil {
-				writeError(w, http.StatusInternalServerError, "building policy: %v", err)
+				writeErr(w, err)
 				return
 			}
 			if msg != "" {
@@ -381,6 +381,7 @@ func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
 		defer s.admitted()
 		for i, c := range cells {
 			runs[i] = s.reg.create(c.app.Name, c.pol.Name())
+			runs[i].setTracer(s.newRunTracer(r, runs[i]))
 		}
 		s.retained.Set(float64(s.reg.size()))
 		b = s.batches.create(req.Apps, req.Policies, runs)
@@ -397,7 +398,10 @@ func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
 				Config: req.Config, TDPWatts: req.TDPWatts,
 				FaultSeed: req.FaultSeed, FaultIntensity: req.FaultIntensity}
 			s.journalSubmit(runs[i].ID, c.app.Name, &rr, b.ID)
-			j := s.newJob(jobCtx, runs[i], c.app, c.pol, opts)
+			// Full-slice append: each cell must get its own RunWithTrace
+			// without cells sharing (and clobbering) one backing array.
+			cellOpts := append(opts[:len(opts):len(opts)], harmonia.RunWithTrace(runs[i].Tracer()))
+			j := s.newJob(jobCtx, runs[i], c.app, c.pol, cellOpts)
 			// The matrix shares one admission; its first cell carries the
 			// half-open probe slot if this submission was granted it.
 			j.probe = probe && i == 0
@@ -428,7 +432,7 @@ func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetBatch(w http.ResponseWriter, r *http.Request) {
 	b, ok := s.batches.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no batch %q (expired or never created)", r.PathValue("id"))
+		writeErr(w, errRunNotFound("batch", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, b.JSON())

@@ -1,0 +1,23 @@
+package serve
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the operator-only debug mux: net/http/pprof
+// profiles and the expvar JSON dump. It is deliberately a separate
+// handler from the API mux — cmd/harmonia-serve binds it to its own
+// listener (-debug-addr, typically loopback) so profiling endpoints are
+// never reachable on the service port.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

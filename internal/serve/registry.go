@@ -10,6 +10,7 @@ import (
 
 	"harmonia/internal/export"
 	"harmonia/internal/session"
+	"harmonia/internal/trace"
 )
 
 // Run states. A run is queued on submission, running once a worker
@@ -62,8 +63,27 @@ type Run struct {
 	// persisted. Live runs leave it nil and serve the report instead.
 	headline *headline
 	restored bool
+	// tracer records the run's span tree (GET /v1/runs/{id}/spans). Nil
+	// for journal-restored records, whose execution predates this
+	// process.
+	tracer *trace.Recorder
 
 	done chan struct{}
+}
+
+// setTracer installs the run's span recorder; called between create and
+// enqueue, before any worker touches the record.
+func (r *Run) setTracer(rec *trace.Recorder) {
+	r.mu.Lock()
+	r.tracer = rec
+	r.mu.Unlock()
+}
+
+// Tracer returns the run's span recorder, or nil for restored records.
+func (r *Run) Tracer() *trace.Recorder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tracer
 }
 
 // headline is the ED²/time/energy triple a journal Done record
@@ -149,6 +169,13 @@ func (r *Run) Headline() *headline {
 		return &headline{ed2: &ed2, timeS: &t, energyJ: &e}
 	}
 	return r.headline
+}
+
+// Status returns the run's current state string.
+func (r *Run) Status() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
 }
 
 // Report returns the finished run's report, or nil.

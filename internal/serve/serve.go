@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -29,10 +30,10 @@ import (
 	"harmonia"
 	"harmonia/internal/export"
 	"harmonia/internal/floats"
-	"harmonia/internal/hw"
 	"harmonia/internal/resilience"
 	"harmonia/internal/session"
 	"harmonia/internal/telemetry"
+	"harmonia/internal/trace"
 )
 
 // Options configures a Server. The zero value serves with sensible
@@ -114,7 +115,12 @@ type Server struct {
 	batches *batchRegistry
 	tel     *telemetry.Registry
 	log     *log.Logger
-	now     func() time.Time
+	// slog is the structured logger (request and run lifecycle lines
+	// with request/trace-ID correlation), derived from log's writer so
+	// both loggers share one destination.
+	slog   *slog.Logger
+	now    func() time.Time
+	reqSeq atomic.Uint64
 
 	mux     *http.ServeMux
 	handler http.Handler
@@ -236,6 +242,7 @@ func New(sys *harmonia.System, opts Options) *Server {
 		batches:        newBatchRegistry(ttl, maxRuns, now),
 		tel:            tel,
 		log:            logger,
+		slog:           slog.New(slog.NewTextHandler(logger.Writer(), nil)),
 		now:            now,
 		jobs:           make(chan *job, depth),
 		queueDepth:     int64(depth),
@@ -397,6 +404,7 @@ func (s *Server) worker() {
 func (s *Server) execute(j *job) {
 	defer s.jobDone(j)
 	j.run.start(s.now())
+	started := s.now()
 	rep, err, stack := s.runJob(j)
 	now := s.now()
 	switch {
@@ -419,7 +427,23 @@ func (s *Server) execute(j *job) {
 		j.run.finish(rep, nil, now)
 		s.breakerFeed(true)
 	}
+	s.logRun(j.run, now.Sub(started))
 	s.journalOutcome(j.run)
+}
+
+// logRun emits one structured line per finished run, carrying the trace
+// ID so a log line can be correlated with its span tree
+// (GET /v1/runs/{id}/spans) and with the submitting request's log line.
+func (s *Server) logRun(run *Run, elapsed time.Duration) {
+	attrs := []any{
+		"run_id", run.ID,
+		"status", run.Status(),
+		"duration", elapsed.String(),
+	}
+	if rec := run.Tracer(); rec != nil {
+		attrs = append(attrs, "trace_id", rec.TraceID())
+	}
+	s.slog.Info("run finished", attrs...)
 }
 
 // runJob invokes the backend with panic capture: a panic comes back as
@@ -493,6 +517,35 @@ type shedError struct {
 
 func (e *shedError) Error() string { return e.msg }
 
+// Unwrap ties every admission rejection to the harmonia.ErrShedding
+// sentinel, so callers holding only an error can errors.Is it.
+func (e *shedError) Unwrap() error { return harmonia.ErrShedding }
+
+// statusFor is the single place backend errors map to HTTP status
+// codes: the harmonia sentinel errors each have exactly one status, a
+// shed keeps the status admission control chose, and anything
+// unrecognized is a 500.
+func statusFor(err error) int {
+	var shed *shedError
+	switch {
+	case errors.As(err, &shed):
+		return shed.status
+	case errors.Is(err, harmonia.ErrRunNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, harmonia.ErrInvalidConfig):
+		return http.StatusBadRequest
+	case errors.Is(err, harmonia.ErrShedding):
+		return http.StatusServiceUnavailable
+	default: // harmonia.ErrTrainingFailed and everything else
+		return http.StatusInternalServerError
+	}
+}
+
+// writeErr writes err with the status statusFor assigns it.
+func writeErr(w http.ResponseWriter, err error) {
+	writeError(w, statusFor(err), "%s", err.Error())
+}
+
 // admit reserves n admission slots or explains the rejection. On
 // success the runs are committed — n runsWG entries and n pending slots
 // are held, probe reports whether this submission owns the breaker's
@@ -556,6 +609,25 @@ func (s *Server) enqueue(j *job) {
 	s.jobs <- j
 }
 
+// newRunTracer builds the per-run span recorder: span IDs seeded
+// deterministically by the run's registry sequence number, the trace ID
+// adopted from an inbound W3C traceparent header when the caller sent
+// one (joining the run's spans to the caller's distributed trace), and
+// header attributes linking the run to the request that submitted it.
+func (s *Server) newRunTracer(r *http.Request, run *Run) *trace.Recorder {
+	attrs := []trace.Attr{{Key: "run_id", Value: run.ID}}
+	if rid := requestIDFrom(r.Context()); rid != "" {
+		attrs = append(attrs, trace.Attr{Key: "request_id", Value: rid})
+	}
+	opts := []trace.Option{}
+	if tid, parent, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		opts = append(opts, trace.WithTraceID(tid))
+		attrs = append(attrs, trace.Attr{Key: "parent_span_id", Value: parent})
+	}
+	opts = append(opts, trace.WithAttrs(attrs...))
+	return trace.New(uint64(run.seq), opts...)
+}
+
 // newJob builds a job under the per-run deadline, when one is set.
 func (s *Server) newJob(parent context.Context, run *Run, app *harmonia.Application, pol harmonia.Policy, opts []harmonia.RunOption) *job {
 	ctx := parent
@@ -593,13 +665,39 @@ func (s *Server) buildMux() {
 	route("GET /v1/batch/{id}", "/v1/batch/{id}", s.handleGetBatch)
 	route("GET /v1/runs/{id}", "/v1/runs/{id}", s.handleGetRun)
 	route("GET /v1/runs/{id}/trace", "/v1/runs/{id}/trace", s.handleGetTrace)
+	route("GET /v1/runs/{id}/spans", "/v1/runs/{id}/spans", s.handleGetSpans)
 	route("GET /v1/apps", "/v1/apps", s.handleApps)
 	route("GET /v1/configs", "/v1/configs", s.handleConfigs)
 	route("GET /healthz", "/healthz", s.handleHealthz)
 	route("GET /readyz", "/readyz", s.handleReadyz)
 	route("GET /metrics", "/metrics", s.handleMetrics)
 	s.mux = mux
-	s.handler = s.logged(s.recovered(mux))
+	s.handler = s.traced(s.logged(s.recovered(mux)))
+}
+
+// ctxKeyRequestID carries the request ID minted (or accepted) by the
+// traced middleware through the request context.
+type ctxKeyRequestID struct{}
+
+// requestIDFrom returns the request's ID, or "" outside the middleware.
+func requestIDFrom(ctx context.Context) string {
+	v, _ := ctx.Value(ctxKeyRequestID{}).(string)
+	return v
+}
+
+// traced is the outermost middleware: it mints a request ID (honoring
+// an inbound X-Request-ID), echoes it on the response, and stores it in
+// the context so run submission can stamp it onto the run's trace and
+// the access log can correlate lines with spans.
+func (s *Server) traced(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-Id")
+		if rid == "" {
+			rid = fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-Id", rid)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID{}, rid)))
+	})
 }
 
 // recovered is the panic backstop for HTTP handlers: a panicking
@@ -629,15 +727,26 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// logged is the outermost middleware: one structured line per request
-// via the stdlib logger.
+// logged emits one structured slog line per request, correlated with
+// the request ID the traced middleware minted and — when the caller
+// sent a W3C traceparent — the distributed trace ID the run's spans
+// will join.
 func (s *Server) logged(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		t0 := time.Now()
 		next.ServeHTTP(sw, r)
-		s.log.Printf("method=%s path=%s status=%d duration=%s",
-			r.Method, r.URL.Path, sw.code, time.Since(t0).Round(time.Microsecond))
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.code,
+			"duration", time.Since(t0).Round(time.Microsecond).String(),
+			"request_id", requestIDFrom(r.Context()),
+		}
+		if tid, _, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			attrs = append(attrs, "trace_id", tid)
+		}
+		s.slog.Info("request", attrs...)
 	})
 }
 
@@ -733,9 +842,12 @@ func (s *Server) buildPolicy(req *RunRequest, app *harmonia.Application) (harmon
 		if req.Config == "" {
 			return nil, `policy "fixed" needs "config", e.g. "16/700/925"`, nil
 		}
-		cfg, err := hw.ParseConfig(req.Config)
+		// harmonia.ParseConfig wraps ErrInvalidConfig, which statusFor
+		// maps to 400; returning it as the error keeps the status
+		// mapping in that one place.
+		cfg, err := harmonia.ParseConfig(req.Config)
 		if err != nil {
-			return nil, err.Error(), nil
+			return nil, "", err
 		}
 		return s.sys.Fixed(cfg), "", nil
 	default:
@@ -764,7 +876,7 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 	}
 	pol, msg, err := s.buildPolicy(&req, app)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "building policy: %v", err)
+		writeErr(w, err)
 		return
 	}
 	if msg != "" {
@@ -794,9 +906,11 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 		// enqueue so shutdown cannot drain between reservation and send.
 		defer s.admitted()
 		run = s.reg.create(req.App, pol.Name())
+		rec := s.newRunTracer(r, run)
+		run.setTracer(rec)
 		s.retained.Set(float64(s.reg.size()))
 		s.journalSubmit(run.ID, req.App, &req, "")
-		j := s.newJob(jobCtx, run, app, pol, opts)
+		j := s.newJob(jobCtx, run, app, pol, append(opts, harmonia.RunWithTrace(rec)))
 		j.probe = probe
 		s.enqueue(j)
 	}()
@@ -841,14 +955,56 @@ func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// errRunNotFound wraps harmonia.ErrRunNotFound with the missing ID;
+// statusFor maps it to 404.
+func errRunNotFound(kind, id string) error {
+	return fmt.Errorf("%w: no %s %q (expired or never created)", harmonia.ErrRunNotFound, kind, id)
+}
+
 // handleGetRun is GET /v1/runs/{id}.
 func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.reg.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no run %q (expired or never created)", r.PathValue("id"))
+		writeErr(w, errRunNotFound("run", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, run.JSON())
+}
+
+// handleGetSpans is GET /v1/runs/{id}/spans: the run's recorded span
+// tree, as the native span schema (default) or Chrome trace-event JSON
+// (?format=chrome) loadable at ui.perfetto.dev or chrome://tracing.
+// Safe to call while the run is still executing — open spans export
+// with ended=false.
+func (s *Server) handleGetSpans(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, errRunNotFound("run", r.PathValue("id")))
+		return
+	}
+	rec := run.Tracer()
+	if rec == nil {
+		writeError(w, http.StatusConflict,
+			"run %s has no recorded spans (restored from a previous process's journal)", run.ID)
+		return
+	}
+	snap := rec.Snapshot()
+	var err error
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		err = snap.WriteJSON(w)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		err = snap.WriteChrome(w)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json or chrome)",
+			r.URL.Query().Get("format"))
+		return
+	}
+	if err != nil {
+		s.slog.Error("writing spans", "run_id", run.ID, "error", err.Error())
+	}
 }
 
 // handleGetTrace is GET /v1/runs/{id}/trace: the 1 kHz power trace as
@@ -856,7 +1012,7 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.reg.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no run %q (expired or never created)", r.PathValue("id"))
+		writeErr(w, errRunNotFound("run", r.PathValue("id")))
 		return
 	}
 	rep := run.Report()

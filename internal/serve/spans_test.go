@@ -1,0 +1,276 @@
+package serve
+
+// Tests for the spans endpoint, request/trace correlation, the sentinel
+// error → HTTP status mapping, and the operator debug mux.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// runToDone submits a synchronous run and returns its ID.
+func runToDone(t *testing.T, ts *httptest.Server, body string) string {
+	t.Helper()
+	status, run := postRun(t, ts, body)
+	if status != http.StatusOK {
+		t.Fatalf("POST /v1/runs = %d", status)
+	}
+	if run.Status != StatusDone {
+		t.Fatalf("run status %q, want done", run.Status)
+	}
+	return run.ID
+}
+
+func TestGetSpansNativeFormat(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{Workers: 1})
+	id := runToDone(t, ts, `{"app":"SRAD","policy":"harmonia"}`)
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + id + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET spans = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var doc struct {
+		TraceID string `json:"trace_id"`
+		Attrs   []struct{ Key, Value string }
+		Spans   []struct {
+			ID     string `json:"id"`
+			Parent string `json:"parent"`
+			Name   string `json:"name"`
+			Ended  bool   `json:"ended"`
+		} `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceID) != 32 {
+		t.Fatalf("trace_id %q is not 32 hex digits", doc.TraceID)
+	}
+	if len(doc.Spans) == 0 {
+		t.Fatal("no spans recorded for a finished run")
+	}
+	names := map[string]bool{}
+	for _, sp := range doc.Spans {
+		names[sp.Name] = true
+		if !sp.Ended {
+			t.Fatalf("span %q still open after the run finished", sp.Name)
+		}
+	}
+	for _, want := range []string{"run", "kernel", "decide", "simulate", "observe"} {
+		if !names[want] {
+			t.Fatalf("span tree missing %q spans", want)
+		}
+	}
+	// The trace header links back to the run and the submitting request.
+	got := map[string]string{}
+	for _, a := range doc.Attrs {
+		got[a.Key] = a.Value
+	}
+	if got["run_id"] != id {
+		t.Fatalf("trace run_id attr = %q, want %q", got["run_id"], id)
+	}
+	if !strings.HasPrefix(got["request_id"], "req-") {
+		t.Fatalf("trace request_id attr = %q", got["request_id"])
+	}
+}
+
+func TestGetSpansChromeFormat(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{Workers: 1})
+	id := runToDone(t, ts, `{"app":"SRAD","policy":"baseline"}`)
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + id + "/spans?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET spans?format=chrome = %d", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			PID  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("chrome export is not valid trace-event JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) < 2 {
+		t.Fatalf("unexpected chrome doc: unit=%q events=%d", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Ph != "M" || doc.TraceEvents[0].Args["run_id"] != id {
+		t.Fatalf("first event is not the process metadata record: %+v", doc.TraceEvents[0])
+	}
+	sawComplete := false
+	for _, ev := range doc.TraceEvents[1:] {
+		if ev.Ph == "X" {
+			sawComplete = true
+			if ev.Args["span_id"] == "" {
+				t.Fatal("complete event without span_id")
+			}
+		}
+	}
+	if !sawComplete {
+		t.Fatal("no complete (ph X) events in chrome export")
+	}
+
+	// Unknown format is a 400, not a silent default.
+	if code := getJSON(t, ts.URL+"/v1/runs/"+id+"/spans?format=xml", nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown format = %d, want 400", code)
+	}
+}
+
+func TestSpansNotFoundAndStatusMapping(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{Workers: 1})
+	for _, path := range []string{
+		"/v1/runs/run-999999",
+		"/v1/runs/run-999999/spans",
+		"/v1/runs/run-999999/trace",
+		"/v1/batch/batch-999999",
+	} {
+		if code := getJSON(t, ts.URL+path, nil); code != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404 (ErrRunNotFound mapping)", path, code)
+		}
+	}
+	// A fixed-policy run with an off-grid config maps ErrInvalidConfig
+	// to 400.
+	status, _ := postRun(t, ts, `{"app":"SRAD","policy":"fixed","config":"999/999/999"}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("off-grid fixed config = %d, want 400", status)
+	}
+}
+
+func TestRequestIDMintedAndEchoed(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rid := resp.Header.Get("X-Request-Id"); !strings.HasPrefix(rid, "req-") {
+		t.Fatalf("minted X-Request-Id = %q", rid)
+	}
+
+	// An inbound X-Request-Id is honored, not replaced.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/apps", nil)
+	req.Header.Set("X-Request-Id", "client-abc123")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if rid := resp2.Header.Get("X-Request-Id"); rid != "client-abc123" {
+		t.Fatalf("inbound request ID replaced with %q", rid)
+	}
+}
+
+func TestTraceparentAdopted(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{Workers: 1})
+	const inbound = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/runs",
+		strings.NewReader(`{"app":"SRAD","policy":"baseline"}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", inbound)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var run RunJSON
+	if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceID string `json:"trace_id"`
+		Attrs   []struct{ Key, Value string }
+	}
+	if code := getJSON(t, ts.URL+"/v1/runs/"+run.ID+"/spans", &doc); code != http.StatusOK {
+		t.Fatalf("GET spans = %d", code)
+	}
+	if doc.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("run trace ID %q did not adopt the inbound traceparent", doc.TraceID)
+	}
+	attrs := map[string]string{}
+	for _, a := range doc.Attrs {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["parent_span_id"] != "00f067aa0ba902b7" {
+		t.Fatalf("parent_span_id attr = %q", attrs["parent_span_id"])
+	}
+}
+
+func TestBatchCellsGetSpans(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{Workers: 2})
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json",
+		strings.NewReader(`{"apps":["SRAD"],"policies":["baseline","harmonia"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b BatchJSON
+	if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Status != StatusDone {
+		t.Fatalf("batch status %q", b.Status)
+	}
+	seen := map[string]bool{}
+	for _, cell := range b.Cells {
+		var doc struct {
+			TraceID string `json:"trace_id"`
+			Spans   []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		}
+		if code := getJSON(t, ts.URL+"/v1/runs/"+cell.RunID+"/spans", &doc); code != http.StatusOK {
+			t.Fatalf("cell %s spans = %d", cell.RunID, code)
+		}
+		if len(doc.Spans) == 0 {
+			t.Fatalf("cell %s recorded no spans", cell.RunID)
+		}
+		if seen[doc.TraceID] {
+			t.Fatalf("two batch cells share trace ID %s", doc.TraceID)
+		}
+		seen[doc.TraceID] = true
+	}
+}
+
+func TestDebugHandler(t *testing.T) {
+	ts := httptest.NewServer(DebugHandler())
+	defer ts.Close()
+	for path, wantCT := range map[string]string{
+		"/debug/pprof/":        "text/html",
+		"/debug/vars":          "application/json",
+		"/debug/pprof/cmdline": "text/plain",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, wantCT) {
+			t.Errorf("GET %s Content-Type = %q, want %q", path, ct, wantCT)
+		}
+		if len(body) == 0 {
+			t.Errorf("GET %s returned an empty body", path)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"harmonia/internal/policy"
 	"harmonia/internal/power"
 	"harmonia/internal/telemetry"
+	"harmonia/internal/trace"
 	"harmonia/internal/workloads"
 )
 
@@ -44,6 +45,14 @@ type Session struct {
 	// observation: it never perturbs the simulated physics, so a run
 	// with telemetry is bit-identical to one without.
 	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records the run as a span tree: one run span
+	// (nested under the recorder's ambient parent, if any), a kernel
+	// span per invocation, and decide/simulate/observe phase spans under
+	// it. Policies implementing trace.Traceable get the recorder
+	// attached at run start so their decision spans nest under the
+	// active phase. Like Telemetry, tracing is pure observation — a
+	// traced run's Report is bit-identical to an untraced one.
+	Tracer *trace.Recorder
 }
 
 // Telemetry metric families recorded by RunContext. The policy label is
@@ -141,9 +150,24 @@ func (s *Session) Run(app *workloads.Application) (*Report, error) {
 // context's error (no partial report).
 func (s *Session) RunContext(ctx context.Context, app *workloads.Application) (*Report, error) {
 	ins := s.instrumentsFor()
+	tr := s.Tracer
+	var runSpan *trace.Span
+	if tr != nil {
+		if t, ok := s.Policy.(trace.Traceable); ok {
+			t.AttachTracer(tr)
+		}
+		runSpan = tr.StartAmbient("run")
+		runSpan.Attr("app", app.Name).
+			Attr("policy", s.Policy.Name()).
+			Int("iterations", int64(app.Iterations))
+		defer runSpan.End()
+	}
 	if err := app.Validate(); err != nil {
 		if ins.failed != nil {
 			ins.failed.Inc()
+		}
+		if runSpan != nil {
+			runSpan.Attr("error", err.Error())
 		}
 		return nil, err
 	}
@@ -165,22 +189,62 @@ func (s *Session) RunContext(ctx context.Context, app *workloads.Application) (*
 				if ins.canceled != nil {
 					ins.canceled.Inc()
 				}
-				return nil, fmt.Errorf("session: run of %s canceled at %s iter %d: %w",
+				err = fmt.Errorf("session: run of %s canceled at %s iter %d: %w",
 					app.Name, k.Name, iter, err)
+				if runSpan != nil {
+					runSpan.Attr("error", err.Error())
+				}
+				return nil, err
 			}
+			// Tracing note: span methods are nil-safe no-ops, so the
+			// untraced path runs them freely; only annotations whose
+			// argument expressions allocate (Config.String()) sit behind
+			// nil checks.
+			ks := runSpan.Child("kernel")
+			if ks != nil {
+				ks.Attr("name", k.Name).Int("iter", int64(iter))
+			}
+			ds := ks.Child("decide")
+			prevAmb := tr.SetAmbient(ds)
 			cfg := s.Policy.Decide(k.Name, iter)
+			tr.SetAmbient(prevAmb)
+			if ds != nil {
+				ds.Attr("config", cfg.String())
+			}
+			ds.End()
 			if !cfg.Valid() {
 				if ins.failed != nil {
 					ins.failed.Inc()
 				}
-				return nil, fmt.Errorf("session: policy %s returned invalid config %v for %s",
+				err := fmt.Errorf("session: policy %s returned invalid config %v for %s",
 					s.Policy.Name(), cfg, k.Name)
+				if runSpan != nil {
+					ks.Attr("error", err.Error())
+					ks.End()
+					runSpan.Attr("error", err.Error())
+				}
+				return nil, err
 			}
 			actual := cfg
 			if s.Faults != nil {
 				actual = s.Faults.ApplyConfig(cfg)
 			}
-			res := s.Sim.Run(k, iter, actual)
+			sim := ks.Child("simulate")
+			var res gpusim.Result
+			if hr, ok := s.Sim.(hitRunner); ok && sim != nil {
+				// The RunHit variant returns bit-identical results plus
+				// the memo-hit flag; it is only consulted when tracing so
+				// the untraced call path is untouched.
+				var hit bool
+				res, hit = hr.RunHit(k, iter, actual)
+				sim.Bool("simcache_hit", hit)
+			} else {
+				res = s.Sim.Run(k, iter, actual)
+			}
+			if sim != nil {
+				sim.Attr("config", actual.String()).Float("time_s", res.Time)
+			}
+			sim.End()
 			rails := s.Power.Rails(actual, power.Activity{
 				VALUBusyFrac:    res.Counters.VALUBusy / 100,
 				MemUnitBusyFrac: res.Counters.MemUnitBusy / 100,
@@ -191,7 +255,12 @@ func (s *Session) RunContext(ctx context.Context, app *workloads.Application) (*
 			if s.Faults != nil {
 				obs = s.Faults.Observation(k.Name, res)
 			}
+			os := ks.Child("observe")
+			prevAmb = tr.SetAmbient(os)
 			s.Policy.Observe(k.Name, iter, obs)
+			tr.SetAmbient(prevAmb)
+			os.End()
+			ks.End()
 			rep.Runs = append(rep.Runs, KernelRun{
 				Kernel: k.Name, Iter: iter, Config: actual, Commanded: cfg, Result: res, Rails: rails,
 			})
@@ -207,7 +276,19 @@ func (s *Session) RunContext(ctx context.Context, app *workloads.Application) (*
 		ins.completed.Inc()
 		ins.ed2.Observe(rep.ED2())
 	}
+	if runSpan != nil {
+		runSpan.Float("total_time_s", rep.TotalTime()).
+			Float("total_energy_j", rep.TotalEnergy()).
+			Float("ed2", rep.ED2())
+	}
 	return rep, nil
+}
+
+// hitRunner is the optional simulator interface (implemented by
+// simcache.Cached) reporting whether a result came from the memo, so
+// traced simulate spans can carry cache behaviour.
+type hitRunner interface {
+	RunHit(k *workloads.Kernel, iter int, cfg hw.Config) (gpusim.Result, bool)
 }
 
 // TotalTime returns application execution time in seconds.

@@ -169,6 +169,15 @@ func (c *Cache) shardFor(k *key) *shard {
 // and storing it on a miss. Results are bit-identical to the uncached
 // call: on a miss the model's own Run supplies the stored value.
 func (c *Cache) Run(m *gpusim.Model, k *workloads.Kernel, iter int, cfg hw.Config) gpusim.Result {
+	r, _ := c.RunHit(m, k, iter, cfg)
+	return r
+}
+
+// RunHit is Run, additionally reporting whether the result came from
+// the memo (true) or a fresh simulation (false). The result value is
+// identical either way; the flag exists so the tracing layer can
+// annotate simulate spans with cache behaviour without touching it.
+func (c *Cache) RunHit(m *gpusim.Model, k *workloads.Kernel, iter int, cfg hw.Config) (gpusim.Result, bool) {
 	ky := keyOf(m, k, iter, cfg)
 	sh := c.shardFor(&ky)
 	sh.mu.RLock()
@@ -176,14 +185,14 @@ func (c *Cache) Run(m *gpusim.Model, k *workloads.Kernel, iter int, cfg hw.Confi
 	sh.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
-		return r
+		return r, true
 	}
 	c.misses.Add(1)
 	r = m.Run(k, iter, cfg)
 	sh.mu.Lock()
 	sh.m[ky] = r
 	sh.mu.Unlock()
-	return r
+	return r, false
 }
 
 // Decision returns the memoized sweep argmin for the given simulator
@@ -258,6 +267,15 @@ func (c Cached) Run(k *workloads.Kernel, iter int, cfg hw.Config) gpusim.Result 
 		return c.Model.Run(k, iter, cfg)
 	}
 	return c.Cache.Run(c.Model, k, iter, cfg)
+}
+
+// RunHit is Run plus a memo-hit flag (always false without a cache);
+// results are bit-identical to Run's.
+func (c Cached) RunHit(k *workloads.Kernel, iter int, cfg hw.Config) (gpusim.Result, bool) {
+	if c.Cache == nil {
+		return c.Model.Run(k, iter, cfg), false
+	}
+	return c.Cache.RunHit(c.Model, k, iter, cfg)
 }
 
 // For returns a runner that memoizes m through cache; a nil cache

@@ -1,9 +1,11 @@
 #!/bin/sh
 # Pre-commit gate: formatting, build, vet, the harmonia-lint domain
 # analyzers (-werror: malformed suppressions fail too), race-detector
-# test run, a focused race pass over the concurrent service layer, a
-# bounded chaos-soak of the resilience layer (make soak), and the
-# benchmark gate (simulation-memo speedup, BENCH_sweep.json).
+# test run, a focused race pass over the concurrent service layer, an
+# observability smoke (the spans endpoint in both formats, the tracing
+# inertness gates, and the debug mux), a bounded chaos-soak of the
+# resilience layer (make soak), and the benchmark gate (simulation-memo
+# speedup plus the disabled-tracing overhead cap, BENCH_sweep.json).
 set -eux
 cd "$(dirname "$0")/.."
 unformatted="$(gofmt -l .)"
@@ -15,7 +17,15 @@ fi
 go build ./...
 go vet ./...
 go run ./cmd/harmonia-lint -werror ./...
-go test -race ./...
+# The full race pass needs explicit headroom: this container is
+# single-CPU and internal/eventsim alone runs close to go test's
+# default 10m per-binary alarm under the race detector.
+go test -race -timeout 30m ./...
 go test -race -count=1 ./internal/serve/... ./internal/telemetry/...
+# Observability smoke: spans endpoint round-trips (native + chrome),
+# request/trace correlation, tracing inertness, and the pprof/expvar
+# debug handler.
+go test -count=1 -run 'TestGetSpans|TestTraceparentAdopted|TestRequestIDMintedAndEchoed|TestDebugHandler' ./internal/serve/
+go test -count=1 -run 'TestTracedRunBitIdentical|TestSameSeedSpanTreesByteIdentical' .
 make soak SOAK_ITERS="${SOAK_ITERS:-4}"
 sh scripts/bench.sh

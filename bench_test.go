@@ -514,5 +514,13 @@ func benchSuite(b *testing.B, workers int) {
 	}
 }
 
+// The worker-count axis: scripts/bench.sh derives
+// suite.speedup_by_workers from these (Serial doubles as the 1-worker
+// point, Parallel as the GOMAXPROCS point) and gates the 4-worker
+// speedup against a machine-aware floor — the single serial/parallel
+// pair this file used to record is what let the 1.17× scaling bug hide
+// in trend data.
 func BenchmarkSuiteSerial(b *testing.B)   { benchSuite(b, 1) }
+func BenchmarkSuiteWorkers2(b *testing.B) { benchSuite(b, 2) }
+func BenchmarkSuiteWorkers4(b *testing.B) { benchSuite(b, 4) }
 func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0) }

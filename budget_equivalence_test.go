@@ -1,0 +1,101 @@
+package harmonia
+
+// Equivalence gates for worker budgeting: an outer application fan-out
+// whose jobs run budgeted inner oracle sweeps must be byte-identical to
+// the fully serial pipeline for every (outerWorkers, innerShare)
+// combination, and a budget-split fan-out must never have more
+// concurrent executors live than the declared allowance.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"testing/quick"
+
+	"harmonia/internal/batch"
+)
+
+// budgetApps is a small cross-section of the suite: a phase-stable
+// multi-kernel app, a phase-varying one, and a two-kernel sort.
+var budgetApps = []string{"LUD", "Graph500", "Sort"}
+
+// runBudgetedSuite runs each app under an oracle whose sweeps use
+// `inner` workers, fanning apps out over `outer` batch workers, and
+// returns the concatenated report JSON. Every call builds a fresh
+// system, so no cache state leaks between worker-count combinations.
+func runBudgetedSuite(t testing.TB, outer, inner int) []byte {
+	t.Helper()
+	sys := NewSystem(WithSimCache())
+	reports, err := batch.Map(context.Background(), outer, budgetApps,
+		func(_ context.Context, _ int, name string) (*Report, error) {
+			app := App(name)
+			return sys.Run(app, sys.OracleWithWorkers(inner, app))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, rep := range reports {
+		if err := WriteReportJSON(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestBudgetedNestedSweepBitIdentical is the satellite property gate:
+// nested budgeted parallelism reproduces the serial pipeline byte for
+// byte at every (outerWorkers, innerShare) combination — including
+// deliberately oversubscribed ones, since correctness must never depend
+// on the budget arithmetic.
+func TestBudgetedNestedSweepBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many full pipeline evaluations")
+	}
+	serial := runBudgetedSuite(t, 1, 1)
+
+	// Budget-split combinations, plus the worker-gauge allowance gate:
+	// spawned pool workers + the calling goroutine never exceed the
+	// declared budget.
+	for _, total := range []int{1, 2, 3, 4, 8, 16} {
+		outer, innerB := batch.NewBudget(total).Split(len(budgetApps))
+		batch.ResetPeakWorkers()
+		got := runBudgetedSuite(t, outer, innerB.Workers())
+		if !bytes.Equal(got, serial) {
+			t.Fatalf("budget %d (outer %d × inner %d): reports differ from serial",
+				total, outer, innerB.Workers())
+		}
+		if peak := batch.PeakWorkers(); peak+1 > int64(total) {
+			t.Fatalf("budget %d: %d spawned workers (+1 caller) exceed the allowance",
+				total, peak)
+		}
+	}
+
+	// Arbitrary combinations, budgeted or not.
+	f := func(ow, iw uint8) bool {
+		outer := int(ow%4) + 1
+		inner := int(iw%4) + 1
+		return bytes.Equal(runBudgetedSuite(t, outer, inner), serial)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnvBudgetSplitSuiteBitIdentical covers the experiments wiring:
+// Env.Workers now budget-splits between the app fan-out and nested
+// oracle sweeps, and the full suite must stay bit-identical to serial
+// at budgets that exercise serial inner shares, even splits, and
+// width-capped splits. (TestSerialParallelSuiteBitIdentical pins 1 vs
+// 8; this pins the split arithmetic itself on a smaller surface.)
+func TestEnvBudgetSplitSuiteBitIdentical(t *testing.T) {
+	for _, budget := range []int{2, 5} {
+		outer, inner := batch.NewBudget(budget).Split(len(budgetApps))
+		batch.ResetPeakWorkers()
+		got := runBudgetedSuite(t, outer, inner.Workers())
+		want := runBudgetedSuite(t, 1, 1)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("budget %d: split suite differs from serial", budget)
+		}
+	}
+}

@@ -9,7 +9,7 @@
 // Packages default to ./... (the whole module containing the working
 // directory); explicit arguments name package directories. Flags:
 //
-//	-checks a,b   run only the named checks (default: all five)
+//	-checks a,b   run only the named checks (default: all six)
 //	-json         emit the stable JSON report instead of text
 //	-werror       treat warnings (malformed suppressions) as errors
 //	-list         print the available checks and exit

@@ -378,9 +378,20 @@ func (s *System) Fixed(cfg Config) Policy { return policy.NewFixed(cfg) }
 
 // Oracle returns the exhaustive per-invocation ED²-optimal policy for
 // the given applications (impractical on real hardware; the paper's
-// comparison upper bound).
+// comparison upper bound). Its sweeps use the full machine; callers
+// that run many oracle sessions concurrently should use
+// OracleWithWorkers to hand each one a share instead.
 func (s *System) Oracle(apps ...*Application) Policy {
 	return oracle.New(s.runner(), s.Power, apps...)
+}
+
+// OracleWithWorkers is Oracle with a bounded sweep width: each
+// exhaustive search uses at most the given number of workers. A pool
+// that runs W oracle sessions concurrently should hand each a share of
+// roughly GOMAXPROCS/W so nested sweeps don't oversubscribe the
+// machine; decisions are identical at any width.
+func (s *System) OracleWithWorkers(workers int, apps ...*Application) Policy {
+	return oracle.New(s.runner(), s.Power, apps...).WithWorkers(workers)
 }
 
 // faultConfig snapshots the armed fault configuration, so a run holds

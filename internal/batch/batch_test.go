@@ -190,6 +190,139 @@ func TestEmptyJobs(t *testing.T) {
 	}
 }
 
+func TestBudgetSplit(t *testing.T) {
+	cases := []struct {
+		total, jobs   int
+		wantW, wantIn int
+	}{
+		{8, 4, 4, 2},                     // even split
+		{8, 3, 3, 2},                     // remainder discarded: 3×2 ≤ 8
+		{8, 16, 8, 1},                    // more jobs than budget: width capped, serial inner
+		{1, 10, 1, 1},                    // budget 1 degrades to fully serial
+		{4, 1, 1, 4},                     // single job gets the whole allowance
+		{6, 4, 4, 1},                     // 6/4 rounds down, never up
+		{0, 5, runtime.GOMAXPROCS(0), 0}, // zero means GOMAXPROCS
+	}
+	for _, c := range cases {
+		b := NewBudget(c.total)
+		w, inner := b.Split(c.jobs)
+		if c.total == 0 {
+			// GOMAXPROCS-dependent: check only the invariants below.
+			c.wantW = w
+			c.wantIn = inner.Workers()
+		}
+		if w != c.wantW || inner.Workers() != c.wantIn {
+			t.Errorf("NewBudget(%d).Split(%d) = (%d, %d), want (%d, %d)",
+				c.total, c.jobs, w, inner.Workers(), c.wantW, c.wantIn)
+		}
+		if w*inner.Workers() > b.Workers() && b.Workers() > 1 {
+			t.Errorf("NewBudget(%d).Split(%d): %d×%d exceeds allowance %d",
+				c.total, c.jobs, w, inner.Workers(), b.Workers())
+		}
+		if w < 1 || inner.Workers() < 1 {
+			t.Errorf("NewBudget(%d).Split(%d): degenerate split (%d, %d)",
+				c.total, c.jobs, w, inner.Workers())
+		}
+	}
+}
+
+func TestBudgetSplitInvariant(t *testing.T) {
+	f := func(total, jobs uint8) bool {
+		b := NewBudget(int(total%64) + 1)
+		w, inner := b.Split(int(jobs % 100))
+		if w < 1 || inner.Workers() < 1 {
+			return false
+		}
+		// The allowance is never exceeded (except the degenerate
+		// width-1 × share-1 floor, which is ≤ any budget ≥ 1).
+		return w*inner.Workers() <= b.Workers() || (w == 1 && inner.Workers() == 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroBudgetDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := NewBudget(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("NewBudget(0).Workers() = %d, want %d", got, want)
+	}
+	if got := NewBudget(-5).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("NewBudget(-5).Workers() = %d, want GOMAXPROCS", got)
+	}
+}
+
+// TestSerialMapSpawnsNoWorkers: the width-1 fast path must not register
+// any pool workers on the gauge — it runs entirely on the caller.
+func TestSerialMapSpawnsNoWorkers(t *testing.T) {
+	ResetPeakWorkers()
+	base := PeakWorkers()
+	_, err := Map(context.Background(), 1, make([]int, 50), func(_ context.Context, i int, _ int) (int, error) {
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := PeakWorkers(); p != base {
+		t.Fatalf("serial Map moved the worker gauge: %d → %d", base, p)
+	}
+}
+
+// TestMapSpawnsWorkersMinusOne: a width-W pool spawns exactly W-1
+// goroutines; the caller is the W-th executor.
+func TestMapSpawnsWorkersMinusOne(t *testing.T) {
+	const workers = 5
+	ResetPeakWorkers()
+	// Hold every executor in-flight simultaneously so the gauge's peak
+	// is deterministic, then release once all are counted.
+	release := make(chan struct{})
+	var inFlight sync.WaitGroup
+	inFlight.Add(workers)
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(context.Background(), workers, make([]int, workers),
+			func(_ context.Context, i int, _ int) (int, error) {
+				inFlight.Done()
+				<-release
+				return i, nil
+			})
+		done <- err
+	}()
+	inFlight.Wait()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if p := PeakWorkers(); p != workers-1 {
+		t.Fatalf("PeakWorkers() = %d, want %d (pool of %d spawns workers-1)", p, workers-1, workers)
+	}
+}
+
+// TestBudgetedNestingStaysWithinAllowance: an outer Map splitting a
+// budget across jobs that each run a budgeted inner Map never has more
+// than budget-1 spawned workers live (the caller is the +1).
+func TestBudgetedNestingStaysWithinAllowance(t *testing.T) {
+	for _, total := range []int{1, 2, 4, 8} {
+		ResetPeakWorkers()
+		b := NewBudget(total)
+		outerW, inner := b.Split(6)
+		_, err := Map(context.Background(), outerW, make([]int, 6),
+			func(ctx context.Context, _ int, _ int) (int, error) {
+				sub, err := Map(ctx, inner.Workers(), make([]int, 40),
+					func(_ context.Context, j int, _ int) (int, error) {
+						runtime.Gosched()
+						return j, nil
+					})
+				return len(sub), err
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := PeakWorkers(); p+1 > int64(total) {
+			t.Fatalf("budget %d: peak spawned workers %d (+1 caller) exceeds allowance", total, p)
+		}
+	}
+}
+
 // TestMapRecordsCellSpans: a context carrying a span yields one "cell"
 // child per job, indexed, with failures annotated — and a bare context
 // records nothing.

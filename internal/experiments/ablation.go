@@ -136,15 +136,16 @@ func ObjectiveStudy(e *Env) (ObjectiveResult, error) {
 		{oracle.MinEnergy, &res.EnergyGain, &res.EnergySlowdown, func(s metrics.Sample) float64 { return s.Energy() }},
 	}
 	type appPoint struct{ ratio, slow float64 }
+	outer, share := e.fanout(len(workloads.Suite()))
 	for _, sl := range slots {
-		perApp, err := batch.Map(context.Background(), e.Workers, workloads.Suite(),
+		perApp, err := batch.Map(context.Background(), outer, workloads.Suite(),
 			func(_ context.Context, _ int, app *workloads.Application) (appPoint, error) {
 				base, err := e.session(policy.NewBaseline()).Run(workloads.ByName(app.Name))
 				if err != nil {
 					return appPoint{}, err
 				}
 				fresh := workloads.ByName(app.Name)
-				or, err := e.session(oracle.NewFor(sl.obj, e.Runner(), e.Power, fresh)).Run(fresh)
+				or, err := e.session(oracle.NewFor(sl.obj, e.Runner(), e.Power, fresh).WithWorkers(share)).Run(fresh)
 				if err != nil {
 					return appPoint{}, err
 				}

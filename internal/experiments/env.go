@@ -12,6 +12,7 @@ package experiments
 import (
 	"sync"
 
+	"harmonia/internal/batch"
 	"harmonia/internal/core"
 	"harmonia/internal/gpusim"
 	"harmonia/internal/oracle"
@@ -39,8 +40,11 @@ type Env struct {
 	// zero-constructed Env runs uncached.
 	Cache *simcache.Cache
 
-	// Workers bounds the batch pool the suite-level studies fan out on
-	// (one job per application). Zero means GOMAXPROCS; 1 forces serial
+	// Workers is the Env's total worker budget: it bounds the batch
+	// pool the suite-level studies fan out on (one job per application)
+	// AND the nested sweeps those jobs run — an outer fan-out splits
+	// the budget and hands each job a share, so total concurrency never
+	// exceeds this allowance. Zero means GOMAXPROCS; 1 forces serial
 	// execution. Results are assembled in input order either way, so
 	// the worker count never changes any study's numbers.
 	Workers int
@@ -100,11 +104,24 @@ func (e *Env) computeOnly() policy.Policy {
 	return core.NewComputeOnly(e.Predictor())
 }
 
-// oracleFor returns the exhaustive ED2 oracle for an application. The
-// oracle sweeps through the Env's memo, so re-sweeping a kernel the
-// suite has already profiled costs map lookups, not simulations.
-func (e *Env) oracleFor(app *workloads.Application) policy.Policy {
-	return oracle.New(e.Runner(), e.Power, app)
+// fanout splits the Env's worker budget across an outer fan-out of n
+// jobs: workers is the batch.Map pool width and share is the sweep
+// width each job may hand to nested oracles. Before budgets, every
+// nested oracle claimed full GOMAXPROCS on top of the outer pool — W×
+// oversubscription plus per-sweep pool churn, the suite's 1.17×
+// parallel-scaling bug.
+func (e *Env) fanout(n int) (workers, share int) {
+	w, inner := batch.NewBudget(e.Workers).Split(n)
+	return w, inner.Workers()
+}
+
+// oracleFor returns the exhaustive ED2 oracle for an application,
+// sweeping with at most the given worker share (its slice of the Env's
+// budget). The oracle sweeps through the Env's memo, so re-sweeping a
+// kernel the suite has already profiled costs map lookups, not
+// simulations.
+func (e *Env) oracleFor(app *workloads.Application, workers int) policy.Policy {
+	return oracle.New(e.Runner(), e.Power, app).WithWorkers(workers)
 }
 
 // kernelByName finds a catalog kernel.

@@ -64,7 +64,10 @@ func (e *Env) Results() ([]AppResult, error) {
 		// Train the predictor before fanning out so the one-time sweep
 		// isn't raced into by every worker at once.
 		e.Predictor()
-		results, err := batch.Map(context.Background(), e.Workers, workloads.Suite(),
+		// The Env budget splits across the app fan-out: each job's
+		// oracle sweeps with its share rather than full GOMAXPROCS.
+		outer, share := e.fanout(len(workloads.Suite()))
+		results, err := batch.Map(context.Background(), outer, workloads.Suite(),
 			func(_ context.Context, _ int, app *workloads.Application) (AppResult, error) {
 				res := AppResult{App: app.Name, Stress: app.Stress}
 				runs := []struct {
@@ -74,7 +77,7 @@ func (e *Env) Results() ([]AppResult, error) {
 					{&res.Baseline, policy.NewBaseline()},
 					{&res.CG, e.cgOnly()},
 					{&res.Harmonia, e.harmonia()},
-					{&res.Oracle, e.oracleFor(app)},
+					{&res.Oracle, e.oracleFor(app, share)},
 					{&res.ComputeOnly, e.computeOnly()},
 				}
 				for _, r := range runs {

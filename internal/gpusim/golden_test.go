@@ -1,0 +1,124 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+
+	"harmonia/internal/hw"
+	"harmonia/internal/workloads"
+)
+
+// goldenRow pins the exact float64 bit patterns of four Result fields
+// for one (kernel, iter, config) triple. The bits were captured from
+// the single-pass Run implementation before the Invariants hoisting, so
+// this test is the proof that the hoisted fast path did not perturb a
+// single ULP of the model's arithmetic.
+type goldenRow struct {
+	kernel                       string
+	iter                         int
+	cfg                          hw.Config
+	timeBits, valuBusyBits       uint64
+	achievedGBsBits, memTimeBits uint64
+}
+
+var goldenRows = []goldenRow{
+	{"Sort.BottomScan", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 4, Freq: 300}, Memory: hw.MemConfig{BusFreq: 475}}, 0x3f8d4d6e95199a4e, 0x40552b13b63042fc, 0x3ffb7b87f87e354c, 0x3f683f91e646f156},
+	{"Sort.BottomScan", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 12, Freq: 800}, Memory: hw.MemConfig{BusFreq: 775}}, 0x3f62856baaa431d2, 0x4050bec73d07d60e, 0x4025bd7ac1785fc6, 0x3f5046578b907ac5},
+	{"Sort.BottomScan", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 24, Freq: 500}, Memory: hw.MemConfig{BusFreq: 1075}}, 0x3f5b492b52ef1402, 0x40522fac8326f7c8, 0x402d83841aa72f47, 0x3f426ffd7747ee64},
+	{"Sort.BottomScan", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 32, Freq: 1000}, Memory: hw.MemConfig{BusFreq: 1375}}, 0x3f4940367f4ced19, 0x404d7a515d0bbefc, 0x403fe46be2835286, 0x3f3a1554fbdad752},
+	{"Sort.BottomScan", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 4, Freq: 300}, Memory: hw.MemConfig{BusFreq: 475}}, 0x3f8d4d6e95199a4e, 0x40552b13b63042fc, 0x3ffb7b87f87e354c, 0x3f683f91e646f156},
+	{"Sort.BottomScan", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 12, Freq: 800}, Memory: hw.MemConfig{BusFreq: 775}}, 0x3f62856baaa431d2, 0x4050bec73d07d60e, 0x4025bd7ac1785fc6, 0x3f5046578b907ac5},
+	{"Sort.BottomScan", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 24, Freq: 500}, Memory: hw.MemConfig{BusFreq: 1075}}, 0x3f5b492b52ef1402, 0x40522fac8326f7c8, 0x402d83841aa72f47, 0x3f426ffd7747ee64},
+	{"Sort.BottomScan", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 32, Freq: 1000}, Memory: hw.MemConfig{BusFreq: 1375}}, 0x3f4940367f4ced19, 0x404d7a515d0bbefc, 0x403fe46be2835286, 0x3f3a1554fbdad752},
+	{"Sort.BottomScan", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 4, Freq: 300}, Memory: hw.MemConfig{BusFreq: 475}}, 0x3f8d4d6e95199a4e, 0x40552b13b63042fc, 0x3ffb7b87f87e354c, 0x3f683f91e646f156},
+	{"Sort.BottomScan", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 12, Freq: 800}, Memory: hw.MemConfig{BusFreq: 775}}, 0x3f62856baaa431d2, 0x4050bec73d07d60e, 0x4025bd7ac1785fc6, 0x3f5046578b907ac5},
+	{"Sort.BottomScan", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 24, Freq: 500}, Memory: hw.MemConfig{BusFreq: 1075}}, 0x3f5b492b52ef1402, 0x40522fac8326f7c8, 0x402d83841aa72f47, 0x3f426ffd7747ee64},
+	{"Sort.BottomScan", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 32, Freq: 1000}, Memory: hw.MemConfig{BusFreq: 1375}}, 0x3f4940367f4ced19, 0x404d7a515d0bbefc, 0x403fe46be2835286, 0x3f3a1554fbdad752},
+	{"DeviceMemory.Stream", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 4, Freq: 300}, Memory: hw.MemConfig{BusFreq: 475}}, 0x3fb2210a8358564a, 0x4058f912416e5118, 0x403640f564c86c69, 0x3f9502606aa1673b},
+	{"DeviceMemory.Stream", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 12, Freq: 800}, Memory: hw.MemConfig{BusFreq: 775}}, 0x3f898fd841be3dbb, 0x4051b61bf2805c58, 0x405f90d22581eac2, 0x3f897d7ea2e676bf},
+	{"DeviceMemory.Stream", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 24, Freq: 500}, Memory: hw.MemConfig{BusFreq: 1075}}, 0x3f82d7f85bec9290, 0x405338832ff42dd6, 0x406568eccdafc3bf, 0x3f82bdc17901764d},
+	{"DeviceMemory.Stream", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 32, Freq: 1000}, Memory: hw.MemConfig{BusFreq: 1375}}, 0x3f7d0da87a61743a, 0x4042b31287eec898, 0x406bc5b74f8da1aa, 0x3f7cee336a141f1d},
+	{"DeviceMemory.Stream", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 4, Freq: 300}, Memory: hw.MemConfig{BusFreq: 475}}, 0x3fb2210a8358564a, 0x4058f912416e5118, 0x403640f564c86c69, 0x3f9502606aa1673b},
+	{"DeviceMemory.Stream", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 12, Freq: 800}, Memory: hw.MemConfig{BusFreq: 775}}, 0x3f898fd841be3dbb, 0x4051b61bf2805c58, 0x405f90d22581eac2, 0x3f897d7ea2e676bf},
+	{"DeviceMemory.Stream", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 24, Freq: 500}, Memory: hw.MemConfig{BusFreq: 1075}}, 0x3f82d7f85bec9290, 0x405338832ff42dd6, 0x406568eccdafc3bf, 0x3f82bdc17901764d},
+	{"DeviceMemory.Stream", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 32, Freq: 1000}, Memory: hw.MemConfig{BusFreq: 1375}}, 0x3f7d0da87a61743a, 0x4042b31287eec898, 0x406bc5b74f8da1aa, 0x3f7cee336a141f1d},
+	{"DeviceMemory.Stream", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 4, Freq: 300}, Memory: hw.MemConfig{BusFreq: 475}}, 0x3fb2210a8358564a, 0x4058f912416e5118, 0x403640f564c86c69, 0x3f9502606aa1673b},
+	{"DeviceMemory.Stream", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 12, Freq: 800}, Memory: hw.MemConfig{BusFreq: 775}}, 0x3f898fd841be3dbb, 0x4051b61bf2805c58, 0x405f90d22581eac2, 0x3f897d7ea2e676bf},
+	{"DeviceMemory.Stream", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 24, Freq: 500}, Memory: hw.MemConfig{BusFreq: 1075}}, 0x3f82d7f85bec9290, 0x405338832ff42dd6, 0x406568eccdafc3bf, 0x3f82bdc17901764d},
+	{"DeviceMemory.Stream", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 32, Freq: 1000}, Memory: hw.MemConfig{BusFreq: 1375}}, 0x3f7d0da87a61743a, 0x4042b31287eec898, 0x406bc5b74f8da1aa, 0x3f7cee336a141f1d},
+	{"LUD.Internal", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 4, Freq: 300}, Memory: hw.MemConfig{BusFreq: 475}}, 0x3f8b1b747734690d, 0x40583c781c2af784, 0x401647f76d384450, 0x3f62ad81adea8976},
+	{"LUD.Internal", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 12, Freq: 800}, Memory: hw.MemConfig{BusFreq: 775}}, 0x3f5ccb8450a03bc7, 0x4056d0cf8843ac54, 0x4045930fe1302f5f, 0x3f4abc62ec3f389c},
+	{"LUD.Internal", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 24, Freq: 500}, Memory: hw.MemConfig{BusFreq: 1075}}, 0x3f57a0c11fb0bb73, 0x40563e7abc06ff49, 0x404b63512402861d, 0x3f4889bf8208e5b6},
+	{"LUD.Internal", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 32, Freq: 1000}, Memory: hw.MemConfig{BusFreq: 1375}}, 0x3f4435b8c589d717, 0x40538130e0e12ca5, 0x40606fddcfa04f2e, 0x3f40e8a5fa2acbce},
+	{"LUD.Internal", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 4, Freq: 300}, Memory: hw.MemConfig{BusFreq: 475}}, 0x3f8b1b747734690d, 0x40583c781c2af784, 0x401647f76d384450, 0x3f62ad81adea8976},
+	{"LUD.Internal", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 12, Freq: 800}, Memory: hw.MemConfig{BusFreq: 775}}, 0x3f5ccb8450a03bc7, 0x4056d0cf8843ac54, 0x4045930fe1302f5f, 0x3f4abc62ec3f389c},
+	{"LUD.Internal", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 24, Freq: 500}, Memory: hw.MemConfig{BusFreq: 1075}}, 0x3f57a0c11fb0bb73, 0x40563e7abc06ff49, 0x404b63512402861d, 0x3f4889bf8208e5b6},
+	{"LUD.Internal", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 32, Freq: 1000}, Memory: hw.MemConfig{BusFreq: 1375}}, 0x3f4435b8c589d717, 0x40538130e0e12ca5, 0x40606fddcfa04f2e, 0x3f40e8a5fa2acbce},
+	{"LUD.Internal", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 4, Freq: 300}, Memory: hw.MemConfig{BusFreq: 475}}, 0x3f8b1b747734690d, 0x40583c781c2af784, 0x401647f76d384450, 0x3f62ad81adea8976},
+	{"LUD.Internal", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 12, Freq: 800}, Memory: hw.MemConfig{BusFreq: 775}}, 0x3f5ccb8450a03bc7, 0x4056d0cf8843ac54, 0x4045930fe1302f5f, 0x3f4abc62ec3f389c},
+	{"LUD.Internal", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 24, Freq: 500}, Memory: hw.MemConfig{BusFreq: 1075}}, 0x3f57a0c11fb0bb73, 0x40563e7abc06ff49, 0x404b63512402861d, 0x3f4889bf8208e5b6},
+	{"LUD.Internal", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 32, Freq: 1000}, Memory: hw.MemConfig{BusFreq: 1375}}, 0x3f4435b8c589d717, 0x40538130e0e12ca5, 0x40606fddcfa04f2e, 0x3f40e8a5fa2acbce},
+	{"SRAD.Prepare", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 4, Freq: 300}, Memory: hw.MemConfig{BusFreq: 475}}, 0x3f037c6cf1534d3d, 0x402d98ae7e472cc6, 0x400724b083834882, 0x3ed0ac1fae1b30de},
+	{"SRAD.Prepare", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 12, Freq: 800}, Memory: hw.MemConfig{BusFreq: 775}}, 0x3ef97ba715582be6, 0x4006a1a4835b90de, 0x4011b26af8c208cb, 0x3ec99b319f346334},
+	{"SRAD.Prepare", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 24, Freq: 500}, Memory: hw.MemConfig{BusFreq: 1075}}, 0x3efd7c67af91a88a, 0x3fff4b613aa0f4b5, 0x400e96c27541e96c, 0x3eca2c2623ab2ae6},
+	{"SRAD.Prepare", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 32, Freq: 1000}, Memory: hw.MemConfig{BusFreq: 1375}}, 0x3ef826118c9a57b0, 0x3feca88480800e3a, 0x4012acbddc34e96f, 0x3ec96ae01db775f8},
+	{"SRAD.Prepare", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 4, Freq: 300}, Memory: hw.MemConfig{BusFreq: 475}}, 0x3f037c6cf1534d3d, 0x402d98ae7e472cc6, 0x400724b083834882, 0x3ed0ac1fae1b30de},
+	{"SRAD.Prepare", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 12, Freq: 800}, Memory: hw.MemConfig{BusFreq: 775}}, 0x3ef97ba715582be6, 0x4006a1a4835b90de, 0x4011b26af8c208cb, 0x3ec99b319f346334},
+	{"SRAD.Prepare", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 24, Freq: 500}, Memory: hw.MemConfig{BusFreq: 1075}}, 0x3efd7c67af91a88a, 0x3fff4b613aa0f4b5, 0x400e96c27541e96c, 0x3eca2c2623ab2ae6},
+	{"SRAD.Prepare", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 32, Freq: 1000}, Memory: hw.MemConfig{BusFreq: 1375}}, 0x3ef826118c9a57b0, 0x3feca88480800e3a, 0x4012acbddc34e96f, 0x3ec96ae01db775f8},
+	{"SRAD.Prepare", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 4, Freq: 300}, Memory: hw.MemConfig{BusFreq: 475}}, 0x3f037c6cf1534d3d, 0x402d98ae7e472cc6, 0x400724b083834882, 0x3ed0ac1fae1b30de},
+	{"SRAD.Prepare", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 12, Freq: 800}, Memory: hw.MemConfig{BusFreq: 775}}, 0x3ef97ba715582be6, 0x4006a1a4835b90de, 0x4011b26af8c208cb, 0x3ec99b319f346334},
+	{"SRAD.Prepare", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 24, Freq: 500}, Memory: hw.MemConfig{BusFreq: 1075}}, 0x3efd7c67af91a88a, 0x3fff4b613aa0f4b5, 0x400e96c27541e96c, 0x3eca2c2623ab2ae6},
+	{"SRAD.Prepare", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 32, Freq: 1000}, Memory: hw.MemConfig{BusFreq: 1375}}, 0x3ef826118c9a57b0, 0x3feca88480800e3a, 0x4012acbddc34e96f, 0x3ec96ae01db775f8},
+	{"XSBench.Lookup", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 4, Freq: 300}, Memory: hw.MemConfig{BusFreq: 475}}, 0x3f87b2bc76148c75, 0x4040b8e810c3697b, 0x404199fb8dc5c539, 0x3f8545c78a6dacac},
+	{"XSBench.Lookup", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 12, Freq: 800}, Memory: hw.MemConfig{BusFreq: 775}}, 0x3f795bd78fffa63c, 0x401f4128b7e3c416, 0x40535cd9d08c549f, 0x3f78a41dd5f7b964},
+	{"XSBench.Lookup", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 24, Freq: 500}, Memory: hw.MemConfig{BusFreq: 1075}}, 0x3f771c0f373349f2, 0x401b6fe6582d1f0b, 0x405a0b138b0307a3, 0x3f76719747b25a92},
+	{"XSBench.Lookup", 0, hw.Config{Compute: hw.ComputeConfig{CUs: 32, Freq: 1000}, Memory: hw.MemConfig{BusFreq: 1375}}, 0x3f720d8d0bf0c380, 0x400a577bfc30a8bd, 0x4062b72c685e4541, 0x3f71c084a0aadb9b},
+	{"XSBench.Lookup", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 4, Freq: 300}, Memory: hw.MemConfig{BusFreq: 475}}, 0x3f87b2bc76148c75, 0x4040b8e810c3697b, 0x404199fb8dc5c539, 0x3f8545c78a6dacac},
+	{"XSBench.Lookup", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 12, Freq: 800}, Memory: hw.MemConfig{BusFreq: 775}}, 0x3f795bd78fffa63c, 0x401f4128b7e3c416, 0x40535cd9d08c549f, 0x3f78a41dd5f7b964},
+	{"XSBench.Lookup", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 24, Freq: 500}, Memory: hw.MemConfig{BusFreq: 1075}}, 0x3f771c0f373349f2, 0x401b6fe6582d1f0b, 0x405a0b138b0307a3, 0x3f76719747b25a92},
+	{"XSBench.Lookup", 3, hw.Config{Compute: hw.ComputeConfig{CUs: 32, Freq: 1000}, Memory: hw.MemConfig{BusFreq: 1375}}, 0x3f720d8d0bf0c380, 0x400a577bfc30a8bd, 0x4062b72c685e4541, 0x3f71c084a0aadb9b},
+	{"XSBench.Lookup", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 4, Freq: 300}, Memory: hw.MemConfig{BusFreq: 475}}, 0x3f87b2bc76148c75, 0x4040b8e810c3697b, 0x404199fb8dc5c539, 0x3f8545c78a6dacac},
+	{"XSBench.Lookup", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 12, Freq: 800}, Memory: hw.MemConfig{BusFreq: 775}}, 0x3f795bd78fffa63c, 0x401f4128b7e3c416, 0x40535cd9d08c549f, 0x3f78a41dd5f7b964},
+	{"XSBench.Lookup", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 24, Freq: 500}, Memory: hw.MemConfig{BusFreq: 1075}}, 0x3f771c0f373349f2, 0x401b6fe6582d1f0b, 0x405a0b138b0307a3, 0x3f76719747b25a92},
+	{"XSBench.Lookup", 7, hw.Config{Compute: hw.ComputeConfig{CUs: 32, Freq: 1000}, Memory: hw.MemConfig{BusFreq: 1375}}, 0x3f720d8d0bf0c380, 0x400a577bfc30a8bd, 0x4062b72c685e4541, 0x3f71c084a0aadb9b},
+}
+
+func kernelByName(t *testing.T, name string) *workloads.Kernel {
+	t.Helper()
+	for _, k := range workloads.AllKernels() {
+		if k.Name == name {
+			return k
+		}
+	}
+	t.Fatalf("golden kernel %q not found", name)
+	return nil
+}
+
+// TestGoldenBits replays every pinned row through all three entry
+// points — Run, hoisted Invariants, and Prepare — and requires exact
+// bit equality on each sampled field.
+func TestGoldenBits(t *testing.T) {
+	m := Default()
+	for _, row := range goldenRows {
+		k := kernelByName(t, row.kernel)
+		check := func(label string, r Result) {
+			t.Helper()
+			got := [4]uint64{
+				math.Float64bits(r.Time),
+				math.Float64bits(r.Counters.VALUBusy),
+				math.Float64bits(r.AchievedGBs),
+				math.Float64bits(r.MemoryTime),
+			}
+			want := [4]uint64{row.timeBits, row.valuBusyBits, row.achievedGBsBits, row.memTimeBits}
+			if got != want {
+				t.Errorf("%s: %s iter %d %v: bits %#x, want %#x",
+					label, row.kernel, row.iter, row.cfg, got, want)
+			}
+		}
+		check("Run", m.Run(k, row.iter, row.cfg))
+		inv := m.Invariants(k, row.iter)
+		check("Invariants.Run", inv.Run(row.cfg))
+		check("Prepare", m.Prepare(k, row.iter)(row.cfg))
+	}
+}

@@ -141,12 +141,56 @@ func EffectiveL2Hit(k *workloads.Kernel, nCU int) float64 {
 }
 
 // Run simulates one invocation of kernel k's iteration iter at
-// configuration cfg.
+// configuration cfg. It is Invariants + Invariants.Run in one call; a
+// sweep over many configurations of the same invocation should hoist
+// the Invariants (or use Prepare) instead of paying the per-iteration
+// derivations once per cell.
 func (m *Model) Run(k *workloads.Kernel, iter int, cfg hw.Config) Result {
+	inv := m.Invariants(k, iter)
+	return inv.Run(cfg)
+}
+
+// Invariants holds every quantity of one (model, kernel, iteration)
+// triple that does not depend on the hardware configuration: the
+// resolved phase, work geometry, occupancy, divergence-inflated
+// instruction counts, raw memory traffic, and channel efficiency. An
+// exhaustive sweep re-derives none of it — the 448-config inner loop
+// pays only for the config-dependent remainder in Invariants.Run.
+//
+// Every field is the verbatim subexpression the original single-pass
+// Run computed (hoisted whole, never re-associated), so Invariants.Run
+// is bit-identical to Run — the property the golden-bits regression
+// test pins.
+type Invariants struct {
+	model  *Model
+	kernel *workloads.Kernel
+	phase  workloads.Phase
+
+	totalWaves float64 // wavefronts launched, after phase work scaling
+	totalWI    float64 // work-items launched
+	occWaves   float64 // resident wavefronts per SIMD (resource-limited)
+	occupancy  float64 // occWaves / architectural maximum
+	util       float64 // active-lane fraction after divergence, floored
+	valuExec   float64 // divergence-inflated VALU instructions per WI
+	issueWork  float64 // total issue cycles × CUs (divide by nCU per config)
+	rawBytes   float64 // memory-hierarchy traffic before L2 filtering
+	chanEff    float64 // GDDR5 channel efficiency at this row locality
+	writeShare float64 // write fraction of rawBytes
+
+	// Config-independent counters, precomputed once.
+	valuUtilPct float64
+	normVGPR    float64
+	normSGPR    float64
+	valuInsts   float64
+	vfetchInsts float64
+	vwriteInsts float64
+}
+
+// Invariants precomputes the configuration-independent portion of
+// simulating kernel k's iteration iter.
+func (m *Model) Invariants(k *workloads.Kernel, iter int) Invariants {
 	phase := k.PhaseFor(iter)
 	div := k.DivergenceFor(phase)
-	nCU := float64(cfg.Compute.CUs)
-	fCU := cfg.Compute.Freq.Hz()
 
 	// Work geometry.
 	workgroups := float64(k.Workgroups) * phase.WorkScale
@@ -155,11 +199,9 @@ func (m *Model) Run(k *workloads.Kernel, iter int, cfg hw.Config) Result {
 	totalWI := workgroups * float64(k.WorkgroupSize)
 
 	// Occupancy is a static resource property of the kernel (VGPR/SGPR/
-	// LDS limits); the machine-wide number of in-flight wavefronts is
-	// additionally capped by the grid size.
+	// LDS limits).
 	occWaves := float64(k.OccupancyWaves())
 	occupancy := occWaves / hw.MaxWavesPerSIMD
-	inflightWaves := math.Min(nCU*hw.SIMDsPerCU*occWaves, totalWaves)
 
 	// Compute phase: one wavefront VALU instruction occupies a SIMD for
 	// 4 cycles (64 work-items over 16 lanes); divergence serializes both
@@ -169,19 +211,68 @@ func (m *Model) Run(k *workloads.Kernel, iter int, cfg hw.Config) Result {
 		util = 1e-3
 	}
 	valuExec := k.VALUPerWI / util
-	issueCycles := totalWaves * (valuExec + m.SALUIssueFactor*k.SALUPerWI) / nCU
+	issueWork := totalWaves * (valuExec + m.SALUIssueFactor*k.SALUPerWI)
+
+	// Memory traffic demanded of the hierarchy, before the L2 filters it.
+	rawBytes := totalWI * (k.FetchPerWI*k.BytesPerFetch*phase.FetchScale +
+		k.WritePerWI*k.BytesPerWrite)
+	chanEff := m.ChannelEffBase + m.ChannelEffRow*k.RowHit
+
+	writeBytes := totalWI * k.WritePerWI * k.BytesPerWrite
+	writeShare := 0.0
+	if rawBytes > 0 {
+		writeShare = writeBytes / rawBytes
+	}
+
+	clampPct := func(v float64) float64 { return math.Max(0, math.Min(100, v)) }
+	return Invariants{
+		model:  m,
+		kernel: k,
+		phase:  phase,
+
+		totalWaves: totalWaves,
+		totalWI:    totalWI,
+		occWaves:   occWaves,
+		occupancy:  occupancy,
+		util:       util,
+		valuExec:   valuExec,
+		issueWork:  issueWork,
+		rawBytes:   rawBytes,
+		chanEff:    chanEff,
+		writeShare: writeShare,
+
+		valuUtilPct: clampPct(util * 100),
+		normVGPR:    math.Min(float64(k.VGPRs)/hw.VGPRsPerSIMD, 1),
+		normSGPR:    math.Min(float64(k.SGPRs)/hw.MaxSGPRsPerWave, 1),
+		valuInsts:   totalWaves * valuExec,
+		vfetchInsts: totalWaves * k.FetchPerWI * phase.FetchScale,
+		vwriteInsts: totalWaves * k.WritePerWI,
+	}
+}
+
+// Run evaluates the configuration-dependent remainder of the model: the
+// per-config work is the issue-rate division, the L2 interference and
+// bandwidth-limiter resolution, the overlap combine, and the counter
+// normalizations — no per-iteration rederivation and no allocation.
+func (inv *Invariants) Run(cfg hw.Config) Result {
+	m, k := inv.model, inv.kernel
+	nCU := float64(cfg.Compute.CUs)
+	fCU := cfg.Compute.Freq.Hz()
+
+	// The machine-wide number of in-flight wavefronts is the kernel's
+	// resource occupancy additionally capped by the grid size.
+	inflightWaves := math.Min(nCU*hw.SIMDsPerCU*inv.occWaves, inv.totalWaves)
+
+	issueCycles := inv.issueWork / nCU
 	tCompute := issueCycles / fCU
 
 	// Memory phase.
 	l2hit := EffectiveL2Hit(k, cfg.Compute.CUs)
-	rawBytes := totalWI * (k.FetchPerWI*k.BytesPerFetch*phase.FetchScale +
-		k.WritePerWI*k.BytesPerWrite)
-	dramBytes := rawBytes * (1 - l2hit)
-	l2Bytes := rawBytes * l2hit
+	dramBytes := inv.rawBytes * (1 - l2hit)
+	l2Bytes := inv.rawBytes * l2hit
 
 	peakBW := cfg.Memory.BandwidthGBs() * 1e9
-	chanEff := m.ChannelEffBase + m.ChannelEffRow*k.RowHit
-	dramBW := peakBW * chanEff
+	dramBW := peakBW * inv.chanEff
 	crossBW := fCU * m.CrossLinesPerCycle * hw.CacheLineBytes
 	mlpBW := inflightWaves * k.MLPPerWave * hw.CacheLineBytes / m.MemLatency
 
@@ -200,7 +291,7 @@ func (m *Model) Run(k *workloads.Kernel, iter int, cfg hw.Config) Result {
 
 	// Overlap: with enough resident wavefronts the shorter phase hides
 	// completely under the longer one; with few, part of it is exposed.
-	overlap := (occWaves - 1) / m.HideWaves
+	overlap := (inv.occWaves - 1) / m.HideWaves
 	overlap = math.Max(0, math.Min(1, overlap))
 	tBody := math.Max(tCompute, tMemory) + (1-overlap)*math.Min(tCompute, tMemory)
 
@@ -217,26 +308,21 @@ func (m *Model) Run(k *workloads.Kernel, iter int, cfg hw.Config) Result {
 	if tMemory > tCompute {
 		stalled = clampPct((tMemory - tCompute) / total * 100)
 	}
-	writeBytes := totalWI * k.WritePerWI * k.BytesPerWrite
-	writeShare := 0.0
-	if rawBytes > 0 {
-		writeShare = writeBytes / rawBytes
-	}
 
 	cs := counters.Set{
 		VALUBusy:         valuBusy,
-		VALUUtilization:  clampPct(util * 100),
+		VALUUtilization:  inv.valuUtilPct,
 		MemUnitBusy:      memBusy,
 		MemUnitStalled:   stalled,
-		WriteUnitStalled: clampPct(stalled * writeShare),
-		NormVGPR:         math.Min(float64(k.VGPRs)/hw.VGPRsPerSIMD, 1),
-		NormSGPR:         math.Min(float64(k.SGPRs)/hw.MaxSGPRsPerWave, 1),
+		WriteUnitStalled: clampPct(stalled * inv.writeShare),
+		NormVGPR:         inv.normVGPR,
+		NormSGPR:         inv.normSGPR,
 		ICActivity:       math.Max(0, math.Min(1, achieved/peakBW)),
 		L2HitRate:        l2hit,
-		Occupancy:        occupancy,
-		VALUInsts:        totalWaves * valuExec,
-		VFetchInsts:      totalWaves * k.FetchPerWI * phase.FetchScale,
-		VWriteInsts:      totalWaves * k.WritePerWI,
+		Occupancy:        inv.occupancy,
+		VALUInsts:        inv.valuInsts,
+		VFetchInsts:      inv.vfetchInsts,
+		VWriteInsts:      inv.vwriteInsts,
 		NormCUsActive:    nCU / hw.MaxCUs,
 		NormCUClock:      cfg.Compute.Freq.GHz() / hw.MaxCUFreq.GHz(),
 		NormMemClock:     float64(cfg.Memory.BusFreq) / float64(hw.MaxMemFreq),
@@ -254,6 +340,27 @@ func (m *Model) Run(k *workloads.Kernel, iter int, cfg hw.Config) Result {
 		Limiter:     limiter,
 	}
 }
+
+// PreparedRunner is implemented by runners that can hoist the
+// per-(kernel, iteration) invariant work out of a configuration sweep:
+// Prepare returns an evaluator bound to one invocation whose results
+// are bit-identical to Run's. The evaluator must be safe for concurrent
+// use by sweep workers. internal/simcache's Cached satisfies this with
+// a prebuilt memo key; the raw Model satisfies it with hoisted
+// Invariants.
+type PreparedRunner interface {
+	Runner
+	Prepare(k *workloads.Kernel, iter int) func(cfg hw.Config) Result
+}
+
+// Prepare returns a single-invocation evaluator over hoisted
+// Invariants, implementing PreparedRunner.
+func (m *Model) Prepare(k *workloads.Kernel, iter int) func(cfg hw.Config) Result {
+	inv := m.Invariants(k, iter)
+	return func(cfg hw.Config) Result { return inv.Run(cfg) }
+}
+
+var _ PreparedRunner = (*Model)(nil)
 
 // RunApp simulates one full iteration of an application (each kernel
 // once, in order) and returns the per-kernel results.

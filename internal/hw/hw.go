@@ -234,7 +234,7 @@ func MaxConfig() Config {
 
 // CUCounts returns the legal active-CU counts in increasing order.
 func CUCounts() []int {
-	var out []int
+	out := make([]int, 0, (MaxCUs-MinCUs)/CUStep+1)
 	for n := MinCUs; n <= MaxCUs; n += CUStep {
 		out = append(out, n)
 	}
@@ -243,7 +243,7 @@ func CUCounts() []int {
 
 // CUFreqs returns the legal compute frequencies in increasing order.
 func CUFreqs() []MHz {
-	var out []MHz
+	out := make([]MHz, 0, int(MaxCUFreq-MinCUFreq)/int(CUFreqStep)+1)
 	for f := MinCUFreq; f <= MaxCUFreq; f += CUFreqStep {
 		out = append(out, f)
 	}
@@ -252,7 +252,7 @@ func CUFreqs() []MHz {
 
 // MemFreqs returns the legal memory bus frequencies in increasing order.
 func MemFreqs() []MHz {
-	var out []MHz
+	out := make([]MHz, 0, int(MaxMemFreq-MinMemFreq)/int(MemFreqStep)+1)
 	for f := MinMemFreq; f <= MaxMemFreq; f += MemFreqStep {
 		out = append(out, f)
 	}
@@ -264,10 +264,14 @@ func MemFreqs() []MHz {
 // describes this space as "approximately 450" points (Section 3.1); the
 // exact count is 8 × 8 × 7 = 448.
 func ConfigSpace() []Config {
+	// The axis slices are hoisted out of the nested loops: rebuilding
+	// MemFreqs per (CU count, compute freq) pair used to dominate the
+	// allocation profile of every uncached oracle sweep.
+	cus, cfreqs, mfreqs := CUCounts(), CUFreqs(), MemFreqs()
 	space := make([]Config, 0, NumConfigs())
-	for _, n := range CUCounts() {
-		for _, cf := range CUFreqs() {
-			for _, mf := range MemFreqs() {
+	for _, n := range cus {
+		for _, cf := range cfreqs {
+			for _, mf := range mfreqs {
 				space = append(space, Config{
 					Compute: ComputeConfig{CUs: n, Freq: cf},
 					Memory:  MemConfig{BusFreq: mf},

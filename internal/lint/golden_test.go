@@ -134,6 +134,20 @@ func TestGoldenFloatEq(t *testing.T) {
 	checkGolden(t, "floateq", renderDiags(root, diags))
 }
 
+// TestGoldenWorkerBudget demonstrates the raw-width true positives
+// (direct GOMAXPROCS/NumCPU calls and arithmetic over them, across
+// batch.Map and the sweep entry points), the budgeted and
+// caller-provided clean idioms, and the in-file suppression.
+func TestGoldenWorkerBudget(t *testing.T) {
+	loader, root := fixtureEnv(t)
+	pkgs, err := loader.LoadDirs(fixtureDir(root, "budgetfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []Analyzer{&WorkerBudget{}}, DefaultPolicy())
+	checkGolden(t, "workerbudget", renderDiags(root, diags))
+}
+
 func TestGoldenErrDrop(t *testing.T) {
 	loader, root := fixtureEnv(t)
 	pkgs, err := loader.LoadDirs(fixtureDir(root, "errfix"))

@@ -8,7 +8,7 @@
 // position-accurate diagnostics, and //lint:ignore suppression, exposed
 // through cmd/harmonia-lint.
 //
-// Five domain analyzers ship with the framework:
+// Six domain analyzers ship with the framework:
 //
 //   - nondeterminism: wall-clock reads, unseeded math/rand, and
 //     output-reaching map iteration inside the deterministic packages
@@ -16,6 +16,8 @@
 //   - lockscope: mutexes held across calls into gpusim/sweep/batch
 //   - floateq: ==/!= on floating-point operands outside approved helpers
 //   - errdrop: discarded error returns from module APIs
+//   - workerbudget: raw runtime.GOMAXPROCS/NumCPU widths in the workers
+//     argument of batch/sweep fan-out calls
 //
 // See DESIGN.md §10 for each analyzer's invariant and rationale.
 package lint
@@ -174,8 +176,10 @@ func DeterministicPackages() []string {
 // explicitly allowlisted — wall-clock and seeded randomness are their
 // job, as are resilience's breaker cooldowns and rate-limiter refills),
 // hwenvelope exempts internal/hw itself (the single source of truth),
-// and floateq exempts internal/floats (the approved comparison
-// helpers).
+// floateq exempts internal/floats (the approved comparison helpers),
+// and workerbudget exempts internal/batch (the budget arithmetic's
+// home) and internal/serve (which legitimately derives per-request
+// shares from the machine width).
 func DefaultPolicy() Policy {
 	return Policy{Scopes: map[string]Scope{
 		"nondeterminism": {
@@ -192,10 +196,18 @@ func DefaultPolicy() Policy {
 		},
 		"hwenvelope": {Exempt: []string{"harmonia/internal/hw"}},
 		"floateq":    {Exempt: []string{"harmonia/internal/floats"}},
+		"workerbudget": {Exempt: []string{
+			// batch owns the budget arithmetic: resolving 0 to GOMAXPROCS
+			// is its job, not a violation.
+			"harmonia/internal/batch",
+			// serve derives per-request sweep shares from GOMAXPROCS by
+			// design (the machine width divided by the pool size).
+			"harmonia/internal/serve",
+		}},
 	}}
 }
 
-// Analyzers returns the five domain analyzers in stable order.
+// Analyzers returns the six domain analyzers in stable order.
 func Analyzers() []Analyzer {
 	return []Analyzer{
 		&Nondeterminism{},
@@ -203,6 +215,7 @@ func Analyzers() []Analyzer {
 		&LockScope{},
 		NewFloatEq(),
 		&ErrDrop{},
+		&WorkerBudget{},
 	}
 }
 

@@ -1,0 +1,66 @@
+// Package budgetfix is a lint fixture: fan-out call sites that feed
+// raw machine widths into worker arguments (true positives for the
+// workerbudget analyzer), the budgeted idiom they should use, and a
+// suppressed case.
+package budgetfix
+
+import (
+	"context"
+	"runtime"
+
+	"harmonia/internal/batch"
+	"harmonia/internal/hw"
+	"harmonia/internal/sweep"
+)
+
+func evalCfg(hw.Config) float64 { return 0 }
+
+// RawBatchFanout sizes an outer fan-out to the whole machine.
+// (true positive)
+func RawBatchFanout(ctx context.Context, apps []string) error {
+	_, err := batch.Map(ctx, runtime.GOMAXPROCS(0), apps,
+		func(context.Context, int, string) (int, error) { return 0, nil })
+	return err
+}
+
+// RawSweepMin feeds NumCPU into a sweep. (true positive)
+func RawSweepMin(space []hw.Config) (hw.Config, float64, bool) {
+	return sweep.Min(space, runtime.NumCPU(), evalCfg)
+}
+
+// RawArithmeticWidth hides the machine width inside arithmetic; still
+// the whole machine. (true positive)
+func RawArithmeticWidth(space []hw.Config) []float64 {
+	return sweep.Map(space, runtime.GOMAXPROCS(0)-1, evalCfg)
+}
+
+// RawTraced flags the traced variant's shifted workers index.
+// (true positive)
+func RawTraced(space []hw.Config) (hw.Config, float64, bool) {
+	return sweep.MinTraced(nil, space, runtime.NumCPU(), evalCfg)
+}
+
+// Budgeted splits one machine-wide allowance between the outer fan-out
+// and the nested sweeps. (clean)
+func Budgeted(ctx context.Context, apps []string, space []hw.Config) error {
+	outer, inner := batch.NewBudget(0).Split(len(apps))
+	_, err := batch.Map(ctx, outer, apps,
+		func(context.Context, int, string) (float64, error) {
+			_, best, _ := sweep.Min(space, inner.Workers(), evalCfg)
+			return best, nil
+		})
+	return err
+}
+
+// FromSetting takes the width from a caller-provided variable; where
+// the value came from is the caller's contract, not this call site's.
+// (clean)
+func FromSetting(space []hw.Config, workers int) []float64 {
+	return sweep.Map(space, workers, evalCfg)
+}
+
+// Suppressed documents why a machine-wide width is acceptable here.
+func Suppressed(space []hw.Config) []float64 {
+	//lint:ignore workerbudget fixture demonstrating a justified top-level fan-out
+	return sweep.Map(space, runtime.GOMAXPROCS(0), evalCfg)
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WorkerBudget flags fan-out call sites that feed a raw machine width —
+// runtime.GOMAXPROCS or runtime.NumCPU — into the workers argument of
+// batch.Map or the sweep entry points. That shape is exactly how the
+// suite's 1.17× scaling bug happened: every layer that sizes itself to
+// the whole machine multiplies with every other layer that does, so W
+// outer jobs each spawning GOMAXPROCS inner workers oversubscribes the
+// scheduler W-fold. Fan-out widths must come from a budgeted share
+// (batch.Budget.Split) or a caller-provided setting, never straight
+// from the machine.
+type WorkerBudget struct{}
+
+// Name implements Analyzer.
+func (*WorkerBudget) Name() string { return "workerbudget" }
+
+// Doc implements Analyzer.
+func (*WorkerBudget) Doc() string {
+	return "forbid raw runtime.GOMAXPROCS/NumCPU widths in the workers argument of batch/sweep fan-out calls"
+}
+
+// workerParams maps the qualified fan-out entry points to the index of
+// their workers parameter.
+var workerParams = map[string]int{
+	"harmonia/internal/batch.Map":       1,
+	"harmonia/internal/sweep.Map":       1,
+	"harmonia/internal/sweep.MapInto":   2,
+	"harmonia/internal/sweep.Min":       1,
+	"harmonia/internal/sweep.All":       1,
+	"harmonia/internal/sweep.MinTraced": 2,
+}
+
+// Run implements Analyzer.
+func (a *WorkerBudget) Run(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		runtimeName, ok := localImportName(f, "runtime")
+		if !ok {
+			continue
+		}
+		batchName, batchOK := localImportName(f, "harmonia/internal/batch")
+		sweepName, sweepOK := localImportName(f, "harmonia/internal/sweep")
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, idx := a.workerCallee(pass, call, batchName, batchOK, sweepName, sweepOK)
+			if callee == "" || idx >= len(call.Args) {
+				return true
+			}
+			if raw := rawWidthCall(pass, call.Args[idx], runtimeName); raw != "" {
+				pass.Reportf(call.Args[idx].Pos(),
+					"runtime.%s in the workers argument of %s sizes this fan-out to the whole machine; pass a batch.Budget share so nested parallelism stays within one allowance",
+					raw, callee)
+			}
+			return true
+		})
+	}
+}
+
+// workerCallee resolves whether call targets one of the fan-out entry
+// points, returning its short name ("batch.Map") and the workers
+// parameter index. Resolution is type-based when the checker resolved
+// the callee, with an import-name fallback for partially checked code.
+func (a *WorkerBudget) workerCallee(pass *Pass, call *ast.CallExpr, batchName string, batchOK bool, sweepName string, sweepOK bool) (string, int) {
+	if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil {
+		full := fn.Pkg().Path() + "." + fn.Name()
+		if idx, ok := workerParams[full]; ok {
+			short := full[strings.LastIndex(full, "/")+1:]
+			return short, idx
+		}
+		return "", 0
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", 0
+	}
+	var pkg string
+	switch {
+	case batchOK && id.Name == batchName:
+		pkg = "batch"
+	case sweepOK && id.Name == sweepName:
+		pkg = "sweep"
+	default:
+		return "", 0
+	}
+	short := pkg + "." + sel.Sel.Name
+	if idx, ok := workerParams["harmonia/internal/"+short]; ok {
+		return short, idx
+	}
+	return "", 0
+}
+
+// rawWidthCall reports the runtime function name ("GOMAXPROCS" or
+// "NumCPU") when the expression contains a direct call to one anywhere
+// in its subtree — `runtime.GOMAXPROCS(0)`, `runtime.NumCPU()-1`, and
+// similar arithmetic all count; a width computed elsewhere and stored
+// in a variable does not.
+func rawWidthCall(pass *Pass, e ast.Expr, runtimeName string) string {
+	var found string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != runtimeName || !isPkgRef(pass, id) {
+			return true
+		}
+		if sel.Sel.Name == "GOMAXPROCS" || sel.Sel.Name == "NumCPU" {
+			found = sel.Sel.Name
+		}
+		return true
+	})
+	return found
+}

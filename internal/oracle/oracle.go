@@ -110,6 +110,18 @@ func NewFor(obj Objective, sim gpusim.Runner, pow *power.Model, apps ...*workloa
 	return o
 }
 
+// WithWorkers sets the worker count the oracle's exhaustive sweeps may
+// use and returns the oracle. Zero (the default) means GOMAXPROCS — the
+// right width for a standalone oracle, but a W-wide oversubscription
+// when W oracle-driven sessions already run in parallel. Fan-outs that
+// run oracles as inner jobs should hand each one its batch.Budget share
+// instead: a share of 1 makes every sweep ride internal/sweep's serial
+// fast path.
+func (o *Oracle) WithWorkers(workers int) *Oracle {
+	o.workers = workers
+	return o
+}
+
 // Name implements policy.Policy.
 func (o *Oracle) Name() string {
 	if o.objective == MinED2 {
@@ -176,9 +188,7 @@ func (o *Oracle) Decide(kernel string, iter int) hw.Config {
 	// deterministic earliest-index tie-breaking. The lock is NOT held
 	// across the sweep: concurrent callers may race to compute the same
 	// key, but the sweep is deterministic so both write the same value.
-	best, _, ok := sweep.MinTraced(sp, o.space, o.workers, func(cfg hw.Config) float64 {
-		return o.evaluate(k, iter, cfg)
-	})
+	best, _, ok := sweep.MinTraced(sp, o.space, o.workers, o.evalFor(k, iter))
 	if !ok {
 		best = hw.MaxConfig()
 	}
@@ -197,9 +207,26 @@ func (o *Oracle) Decide(kernel string, iter int) hw.Config {
 // Observe implements policy.Policy; the oracle needs no feedback.
 func (*Oracle) Observe(string, int, gpusim.Result) {}
 
+// evalFor returns the sweep evaluator for one kernel invocation. When
+// the runner supports prepared evaluation (gpusim.PreparedRunner), the
+// per-invocation work — invariant hoisting, memo-key projection — is
+// done once here instead of once per swept configuration; results are
+// bit-identical either way.
+func (o *Oracle) evalFor(k *workloads.Kernel, iter int) sweep.Eval {
+	if pr, ok := o.sim.(gpusim.PreparedRunner); ok {
+		run := pr.Prepare(k, iter)
+		return func(cfg hw.Config) float64 { return o.score(run(cfg), cfg) }
+	}
+	return func(cfg hw.Config) float64 { return o.evaluate(k, iter, cfg) }
+}
+
 // evaluate scores one kernel invocation at cfg under the objective.
 func (o *Oracle) evaluate(k *workloads.Kernel, iter int, cfg hw.Config) float64 {
-	r := o.sim.Run(k, iter, cfg)
+	return o.score(o.sim.Run(k, iter, cfg), cfg)
+}
+
+// score folds one simulation result into the oracle's figure of merit.
+func (o *Oracle) score(r gpusim.Result, cfg hw.Config) float64 {
 	rails := o.pow.Rails(cfg, power.Activity{
 		VALUBusyFrac:    r.Counters.VALUBusy / 100,
 		MemUnitBusyFrac: r.Counters.MemUnitBusy / 100,

@@ -303,23 +303,32 @@ func BuildConfigTrainingSetN(m gpusim.Runner, kernels []*workloads.Kernel, worke
 // configuration space.
 func kernelConfigRows(m gpusim.Runner, k *workloads.Kernel, space []hw.Config) []TrainingPoint {
 	truth := Measure(m, k)
-	rows := make([]TrainingPoint, 0, len(space))
-	for _, cfg := range space {
-		if k.Phases == nil {
-			rows = append(rows, TrainingPoint{
-				Kernel:   k.Name,
-				Features: m.Run(k, 0, cfg).Counters,
-				Truth:    truth,
-			})
-			continue
+	// A phase-stable kernel contributes one row per configuration;
+	// phase-varying kernels contribute one per iteration phase, so that
+	// runtime samples taken during any phase are in-distribution.
+	iters := 1
+	if k.Phases != nil {
+		iters = measureIters
+	}
+	// Hoist the per-iteration invariant work (and the memo-key
+	// projection, when m is a cache) out of the configuration loop. The
+	// row order — configuration-outer, iteration-inner — is what the
+	// fitted predictor's bit-identity depends on, so only the per-call
+	// evaluation changes, never the loop structure.
+	run := func(iter int, cfg hw.Config) gpusim.Result { return m.Run(k, iter, cfg) }
+	if pr, ok := m.(gpusim.PreparedRunner); ok {
+		prepared := make([]func(hw.Config) gpusim.Result, iters)
+		for i := range prepared {
+			prepared[i] = pr.Prepare(k, i)
 		}
-		// Phase-varying kernels contribute one row per iteration
-		// phase, so that runtime samples taken during any phase are
-		// in-distribution.
-		for i := 0; i < measureIters; i++ {
+		run = func(iter int, cfg hw.Config) gpusim.Result { return prepared[iter](cfg) }
+	}
+	rows := make([]TrainingPoint, 0, iters*len(space))
+	for _, cfg := range space {
+		for i := 0; i < iters; i++ {
 			rows = append(rows, TrainingPoint{
 				Kernel:   k.Name,
-				Features: m.Run(k, i, cfg).Counters,
+				Features: run(i, cfg).Counters,
 				Truth:    truth,
 			})
 		}

@@ -127,6 +127,11 @@ type Server struct {
 
 	jobs       chan *job
 	queueDepth int64
+	// sweepShare is each worker's slice of the machine for nested
+	// oracle sweeps: the run pool already keeps `workers` jobs in
+	// flight, so a sweep inside one job gets GOMAXPROCS/workers, not
+	// the whole machine.
+	sweepShare int
 	// pending counts admitted-but-not-terminal runs (queued plus
 	// executing); admission bounds it by queueDepth, and because the
 	// jobs channel is buffered to queueDepth, an admitted enqueue never
@@ -236,8 +241,13 @@ func New(sys *harmonia.System, opts Options) *Server {
 		})
 	}
 	ctx, cancel := context.WithCancel(base)
+	share := runtime.GOMAXPROCS(0) / workers
+	if share < 1 {
+		share = 1
+	}
 	s := &Server{
 		sys:            sys,
+		sweepShare:     share,
 		reg:            newRegistry(ttl, maxRuns, now),
 		batches:        newBatchRegistry(ttl, maxRuns, now),
 		tel:            tel,
@@ -837,7 +847,9 @@ func (s *Server) buildPolicy(req *RunRequest, app *harmonia.Application) (harmon
 		}
 		return s.sys.PowerTune(tdp), "", nil
 	case "oracle":
-		return s.sys.Oracle(app), "", nil
+		// Budgeted: the worker pool provides the run-level parallelism,
+		// so each run's oracle sweeps with its share of the machine.
+		return s.sys.OracleWithWorkers(s.sweepShare, app), "", nil
 	case "fixed":
 		if req.Config == "" {
 			return nil, `policy "fixed" needs "config", e.g. "16/700/925"`, nil

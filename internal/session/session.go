@@ -179,6 +179,9 @@ func (s *Session) RunContext(ctx context.Context, app *workloads.Application) (*
 		rec.Drop = s.Faults.DropDAQSample
 	}
 	rep := &Report{App: app.Name, Policy: s.Policy.Name()}
+	// The run count is known up front; growing the slice inside the
+	// kernel-boundary loop would reallocate log(n) times per session.
+	rep.Runs = make([]KernelRun, 0, app.Iterations*len(app.Kernels))
 	for iter := 0; iter < app.Iterations; iter++ {
 		for _, k := range app.Kernels {
 			if err := ctx.Err(); err != nil {

@@ -101,6 +101,16 @@ type shard struct {
 	m  map[key]gpusim.Result
 }
 
+// decShard is one lock-striped slice of the decision memo. Decisions
+// were originally a single RWMutex-guarded map while results were
+// 64-way striped — every sweep in every worker funneled through one
+// lock word, and under the race detector (which serializes RLock
+// bookkeeping) the hit path stopped scaling entirely.
+type decShard struct {
+	mu sync.RWMutex
+	m  map[decisionKey]hw.Config
+}
+
 // decisionKey identifies one exhaustive-sweep argmin: the sweep's
 // output is a pure function of the simulator calibration, the power
 // calibration, the kernel-plus-phase projection, the objective, and the
@@ -132,37 +142,56 @@ type Cache struct {
 	hits   atomic.Uint64
 	misses atomic.Uint64
 
-	decMu     sync.RWMutex
-	decisions map[decisionKey]hw.Config
+	decShards [shardCount]decShard
 	decHits   atomic.Uint64
 	decMisses atomic.Uint64
 }
 
 // New returns an empty cache.
 func New() *Cache {
-	c := &Cache{decisions: make(map[decisionKey]hw.Config)}
+	c := &Cache{}
 	for i := range c.shards {
 		c.shards[i].m = make(map[key]gpusim.Result)
 	}
+	for i := range c.decShards {
+		c.decShards[i].m = make(map[decisionKey]hw.Config)
+	}
 	return c
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvString folds s into an FNV-1a hash state.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
 }
 
 // shardFor hashes the cheap, high-entropy parts of the key (kernel name,
 // phase work scale, configuration) with FNV-1a to pick a shard.
 func (c *Cache) shardFor(k *key) *shard {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(k.kernel.name); i++ {
-		h = (h ^ uint64(k.kernel.name[i])) * prime64
-	}
-	h = (h ^ uint64(k.cfg.Compute.CUs)) * prime64
-	h = (h ^ uint64(k.cfg.Compute.Freq)) * prime64
-	h = (h ^ uint64(k.cfg.Memory.BusFreq)) * prime64
-	h = (h ^ uint64(k.kernel.phase.WorkScale*1024)) * prime64
+	h := fnvString(fnvOffset64, k.kernel.name)
+	h = (h ^ uint64(k.cfg.Compute.CUs)) * fnvPrime64
+	h = (h ^ uint64(k.cfg.Compute.Freq)) * fnvPrime64
+	h = (h ^ uint64(k.cfg.Memory.BusFreq)) * fnvPrime64
+	h = (h ^ uint64(k.kernel.phase.WorkScale*1024)) * fnvPrime64
 	return &c.shards[h&(shardCount-1)]
+}
+
+// decShardFor picks a decision shard from the kernel name, resolved
+// phase, and objective — the parts of a decision key that vary across
+// concurrent sweeps sharing one cache.
+func (c *Cache) decShardFor(dk *decisionKey) *decShard {
+	h := fnvString(fnvOffset64, dk.kernel.name)
+	h = (h ^ uint64(dk.objective)) * fnvPrime64
+	h = (h ^ uint64(dk.kernel.phase.WorkScale*1024)) * fnvPrime64
+	h = (h ^ uint64(dk.kernel.phase.FetchScale*1024)) * fnvPrime64
+	return &c.decShards[h&(shardCount-1)]
 }
 
 // Run returns the memoized result of m.Run(k, iter, cfg), simulating
@@ -195,6 +224,36 @@ func (c *Cache) RunHit(m *gpusim.Model, k *workloads.Kernel, iter int, cfg hw.Co
 	return r, false
 }
 
+// Prepare returns a single-invocation evaluator for m's kernel k at
+// iteration iter whose results are bit-identical to Run's. The memo key
+// is built once — per probe only the configuration field changes — so
+// the sweep-read path does no key projection, no phase resolution, and
+// no allocation; misses fall through to the model's own hoisted
+// Invariants. The evaluator is safe for concurrent sweep workers: each
+// probe works on its own stack copy of the key.
+func (c *Cache) Prepare(m *gpusim.Model, k *workloads.Kernel, iter int) func(cfg hw.Config) gpusim.Result {
+	base := keyOf(m, k, iter, hw.Config{})
+	run := m.Prepare(k, iter)
+	return func(cfg hw.Config) gpusim.Result {
+		ky := base
+		ky.cfg = cfg
+		sh := c.shardFor(&ky)
+		sh.mu.RLock()
+		r, ok := sh.m[ky]
+		sh.mu.RUnlock()
+		if ok {
+			c.hits.Add(1)
+			return r
+		}
+		c.misses.Add(1)
+		r = run(cfg)
+		sh.mu.Lock()
+		sh.m[ky] = r
+		sh.mu.Unlock()
+		return r
+	}
+}
+
 // Decision returns the memoized sweep argmin for the given simulator
 // and power calibrations, kernel invocation, objective, and space size,
 // if one has been stored. Iterations resolving to the same phase share
@@ -205,9 +264,10 @@ func (c *Cache) Decision(m *gpusim.Model, pow power.Params, k *workloads.Kernel,
 		model: *m, pow: pow, kernel: kernelKeyOf(k, iter),
 		objective: objective, spaceLen: spaceLen,
 	}
-	c.decMu.RLock()
-	cfg, ok := c.decisions[dk]
-	c.decMu.RUnlock()
+	sh := c.decShardFor(&dk)
+	sh.mu.RLock()
+	cfg, ok := sh.m[dk]
+	sh.mu.RUnlock()
 	if ok {
 		c.decHits.Add(1)
 	} else {
@@ -225,9 +285,10 @@ func (c *Cache) StoreDecision(m *gpusim.Model, pow power.Params, k *workloads.Ke
 		model: *m, pow: pow, kernel: kernelKeyOf(k, iter),
 		objective: objective, spaceLen: spaceLen,
 	}
-	c.decMu.Lock()
-	c.decisions[dk] = cfg
-	c.decMu.Unlock()
+	sh := c.decShardFor(&dk)
+	sh.mu.Lock()
+	sh.m[dk] = cfg
+	sh.mu.Unlock()
 }
 
 // Stats reports the lifetime hit and miss counts.
@@ -277,6 +338,18 @@ func (c Cached) RunHit(k *workloads.Kernel, iter int, cfg hw.Config) (gpusim.Res
 	}
 	return c.Cache.RunHit(c.Model, k, iter, cfg)
 }
+
+// Prepare implements gpusim.PreparedRunner: the returned evaluator
+// probes the memo with a prebuilt key and falls through to the model's
+// hoisted Invariants on a miss, bit-identical to Run either way.
+func (c Cached) Prepare(k *workloads.Kernel, iter int) func(cfg hw.Config) gpusim.Result {
+	if c.Cache == nil {
+		return c.Model.Prepare(k, iter)
+	}
+	return c.Cache.Prepare(c.Model, k, iter)
+}
+
+var _ gpusim.PreparedRunner = Cached{}
 
 // For returns a runner that memoizes m through cache; a nil cache
 // returns m itself, so callers can thread an optional cache without

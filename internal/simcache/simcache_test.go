@@ -245,3 +245,114 @@ func TestDecisionMemoKeySeparation(t *testing.T) {
 		t.Error("phase-varying iterations shared a decision")
 	}
 }
+
+// TestPreparedBitIdenticalToRun: the prebuilt-key read path must return
+// exactly what Run returns — same entries, same bits — hitting the same
+// memo slots.
+func TestPreparedBitIdenticalToRun(t *testing.T) {
+	m := gpusim.Default()
+	c := New()
+	k := testKernel(t, "Graph500.BottomStepUp")
+	for iter := 0; iter < 4; iter++ {
+		eval := Cached{Model: m, Cache: c}.Prepare(k, iter)
+		for _, cfg := range hw.ConfigSpace() {
+			got := eval(cfg)
+			want := c.Run(m, k, iter, cfg) // must be a hit on the same slot
+			if got != want {
+				t.Fatalf("iter %d cfg %v: prepared path diverged", iter, cfg)
+			}
+		}
+	}
+	hits, misses := c.Stats()
+	space := len(hw.ConfigSpace())
+	// Graph500.BottomStepUp's phases repeat, so later iterations reuse
+	// earlier entries; at minimum the paired Run calls must all hit.
+	if int(misses) > 4*space || int(hits) < 4*space {
+		t.Fatalf("prepared path missed the shared memo: %d hits, %d misses", hits, misses)
+	}
+}
+
+// TestPreparedNilCacheDegradesToModel mirrors For's nil-cache contract.
+func TestPreparedNilCacheDegradesToModel(t *testing.T) {
+	m := gpusim.Default()
+	k := testKernel(t, "LUD.Internal")
+	eval := Cached{Model: m}.Prepare(k, 0)
+	cfg := hw.MaxConfig()
+	if got, want := eval(cfg), m.Run(k, 0, cfg); got != want {
+		t.Fatalf("nil-cache prepared path diverged")
+	}
+}
+
+// TestDecisionShardContention is the regression test for the decision
+// memo's single-RWMutex bottleneck: many goroutines hammering the hit
+// path across distinct kernels/objectives must spread over the shard
+// array rather than serialize on one lock. Run under -race, which turns
+// any striping mistake into a detector report; the spread assertion
+// guards against a future change routing every key to one shard.
+func TestDecisionShardContention(t *testing.T) {
+	m := gpusim.Default()
+	pp := power.DefaultParams()
+	c := New()
+	kernels := workloads.AllKernels()
+	for _, k := range kernels {
+		for obj := 0; obj < 3; obj++ {
+			c.StoreDecision(m, pp, k, 0, obj, 448, hw.MaxConfig())
+		}
+	}
+	used := 0
+	for i := range c.decShards {
+		c.decShards[i].mu.RLock()
+		if len(c.decShards[i].m) > 0 {
+			used++
+		}
+		c.decShards[i].mu.RUnlock()
+	}
+	if used < shardCount/4 {
+		t.Fatalf("decision keys landed on %d/%d shards; striping collapsed", used, shardCount)
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for i, k := range kernels {
+					obj := (g + i) % 3
+					if cfg, ok := c.Decision(m, pp, k, 0, obj, 448); !ok || cfg != hw.MaxConfig() {
+						panic("decision lost under concurrent readers")
+					}
+				}
+				// Concurrent writers on other objectives keep the
+				// write path in the race mix.
+				c.StoreDecision(m, pp, kernels[g%len(kernels)], 0, 3+g, 448, hw.MinConfig())
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkDecisionHitParallel measures decision-memo hit throughput
+// under parallelism — the path every repeat-invocation sweep takes.
+// Before striping this serialized on one RWMutex.
+func BenchmarkDecisionHitParallel(b *testing.B) {
+	m := gpusim.Default()
+	pp := power.DefaultParams()
+	c := New()
+	kernels := workloads.AllKernels()
+	for _, k := range kernels {
+		c.StoreDecision(m, pp, k, 0, 0, 448, hw.MaxConfig())
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			k := kernels[i%len(kernels)]
+			i++
+			if _, ok := c.Decision(m, pp, k, 0, 0, 448); !ok {
+				b.Fatal("miss on warmed memo")
+			}
+		}
+	})
+}

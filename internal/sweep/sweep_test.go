@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"harmonia/internal/batch"
 	"harmonia/internal/gpusim"
 	"harmonia/internal/hw"
 	"harmonia/internal/workloads"
@@ -140,6 +141,100 @@ func BenchmarkSweepParallel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Map(space, 0, eval)
+	}
+}
+
+func TestMapIntoMatchesMap(t *testing.T) {
+	space := hw.ConfigSpace()
+	want := Map(space, 4, score)
+	dst := make([]float64, len(space))
+	MapInto(dst, space, 4, score)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("index %d: MapInto %v, Map %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestMapIntoLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MapInto with mismatched dst did not panic")
+		}
+	}()
+	MapInto(make([]float64, 3), hw.ConfigSpace()[:5], 1, score)
+}
+
+// TestSmallSweepStaysSerial: the serial cutoff means sweeping a space
+// smaller than minCellsPerWorker never spawns pool workers, no matter
+// the requested width.
+func TestSmallSweepStaysSerial(t *testing.T) {
+	batch.ResetPeakWorkers()
+	base := batch.PeakWorkers()
+	Map(hw.ConfigSpace()[:minCellsPerWorker-1], 16, score)
+	Min(hw.ConfigSpace()[:8], 0, score)
+	if p := batch.PeakWorkers(); p != base {
+		t.Fatalf("small sweep spawned pool workers: gauge %d → %d", base, p)
+	}
+}
+
+// TestWidthCutoff: width respects the jobs-per-worker floor.
+func TestWidthCutoff(t *testing.T) {
+	cases := []struct{ workers, n, want int }{
+		{8, 448, 8},                        // plenty of cells per worker
+		{64, 448, 448 / minCellsPerWorker}, // capped by the cutoff
+		{8, minCellsPerWorker - 1, 1},      // too small: serial
+		{8, minCellsPerWorker, 1},          // exactly one worker's worth
+		{8, 2 * minCellsPerWorker, 2},
+		{1, 448, 1},
+	}
+	for _, c := range cases {
+		if got := width(c.workers, c.n); got != c.want {
+			t.Errorf("width(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+// TestMinAllocationFree: steady-state Min over a stable space size must
+// not allocate — the scratch pool recycles the value buffer and the
+// serial path spins no goroutines.
+func TestMinAllocationFree(t *testing.T) {
+	space := hw.ConfigSpace()
+	Min(space, 1, score) // warm the scratch pool
+	avg := testing.AllocsPerRun(20, func() {
+		Min(space, 1, score)
+	})
+	if avg > 0 {
+		t.Fatalf("serial Min allocates %.1f objects per run, want 0", avg)
+	}
+}
+
+// BenchmarkSmallSweep measures the kernel-boundary shape that made pool
+// spin-up dominate before the serial cutoff: a tiny space swept with a
+// large requested width. With the cutoff this is a bare loop.
+func BenchmarkSmallSweep(b *testing.B) {
+	sim := gpusim.Default()
+	k := workloads.AllKernels()[0]
+	space := hw.ConfigSpace()[:8]
+	eval := func(cfg hw.Config) float64 { return sim.Run(k, 0, cfg).Time }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Min(space, 16, eval)
+	}
+}
+
+// BenchmarkMinSerial is the budgeted inner-sweep shape: full space,
+// budget share of 1. Zero allocations once the scratch pool is warm.
+func BenchmarkMinSerial(b *testing.B) {
+	sim := gpusim.Default()
+	k := workloads.AllKernels()[0]
+	space := hw.ConfigSpace()
+	eval := func(cfg hw.Config) float64 { return sim.Run(k, 0, cfg).Time }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Min(space, 1, eval)
 	}
 }
 

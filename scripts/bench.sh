@@ -1,26 +1,36 @@
 #!/bin/sh
-# Benchmark gate for the simulation memo, the batch engine, and the span
-# recorder. Runs the infrastructure benchmarks from bench_test.go, emits
-# the headline numbers as BENCH_sweep.json (the repo's benchmark data
-# points are BENCH_*.json files at the root), and fails if the memoized
-# oracle sweep is not at least 5x faster than the uncached sweep, or if
-# tracing the cached sweep costs more than 5% over running it untraced
-# (the untraced run exercises the nil-recorder fast path, which is a
-# strict subset of the traced work, so the same gate bounds the
-# disabled-tracing cost).
+# Benchmark gate for the simulation memo, the batch engine, the span
+# recorder, and the parallel-scaling behaviour of the suite. Runs the
+# infrastructure benchmarks from bench_test.go, emits the headline
+# numbers as BENCH_sweep.json (the repo's benchmark data points are
+# BENCH_*.json files at the root), and fails if:
+#   - the memoized oracle sweep is not at least 5x faster than uncached;
+#   - tracing the cached sweep costs more than 5% over running it
+#     untraced (the untraced run exercises the nil-recorder fast path,
+#     a strict subset of the traced work, so the same gate bounds the
+#     disabled-tracing cost);
+#   - the uncached oracle sweep allocates more than 232 allocs/op (40%
+#     below the 387 allocs/op the pre-overhaul sweep burned — the gate
+#     that keeps the zero-allocation fast path from rotting);
+#   - the 4-worker suite speedup falls below a machine-aware floor:
+#     3.0x when the machine has >= 4 CPUs, 0.75x otherwise (a starved
+#     box cannot speed up, but parallel bookkeeping must stay cheap).
+#     The old single serial/parallel pair recorded 1.17x for years
+#     without tripping anything; the explicit worker axis is the fix.
 set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_sweep.json}"
 
 # Repeat-invocation oracle sweeps: many fast iterations for a stable
-# ns/op. The suite pair rebuilds a full environment per iteration, so a
-# single timed iteration is what a cold suite run costs. The tracing
-# pairs take the minimum of repeated interleaved runs (-count) so the
-# <5% gate compares best-case against best-case, not noise against
-# noise.
-oracle="$(go test -run '^$' -bench 'BenchmarkOracleSweep(Uncached|Cached)$' -benchtime 50x .)"
+# ns/op, with -benchmem so the allocation gate sees allocs/op. The
+# suite axis rebuilds a full environment per iteration, so a single
+# timed iteration is what a cold suite run costs at each worker count.
+# The tracing pairs take the minimum of repeated interleaved runs
+# (-count) so the <5% gate compares best-case against best-case, not
+# noise against noise.
+oracle="$(go test -run '^$' -bench 'BenchmarkOracleSweep(Uncached|Cached)$' -benchtime 50x -benchmem .)"
 tracing="$(go test -run '^$' -bench 'BenchmarkCachedSweepMin(NilTraced)?$|BenchmarkOracleSweepCached(Traced)?$' -benchtime 200x -count 5 .)"
-suite="$(go test -run '^$' -bench 'BenchmarkSuite(Serial|Parallel)$' -benchtime 1x .)"
+suite="$(go test -run '^$' -bench 'BenchmarkSuite(Serial|Workers2|Workers4|Parallel)$' -benchtime 1x .)"
 
 min_ns() { # min_ns <output> <exact-benchmark-name>
 	printf '%s\n' "$1" | awk -v name="$2" '
@@ -29,34 +39,51 @@ min_ns() { # min_ns <output> <exact-benchmark-name>
 }
 
 uncached="$(printf '%s\n' "$oracle" | awk '$1 ~ /^BenchmarkOracleSweepUncached/ {print $3}')"
+uncached_allocs="$(printf '%s\n' "$oracle" | awk '$1 ~ /^BenchmarkOracleSweepUncached/ {print $7}')"
+uncached_bytes="$(printf '%s\n' "$oracle" | awk '$1 ~ /^BenchmarkOracleSweepUncached/ {print $5}')"
 cached="$(printf '%s\n' "$oracle" | awk '$1 ~ /^BenchmarkOracleSweepCached/ {print $3}')"
 plain_min="$(min_ns "$tracing" "BenchmarkCachedSweepMin")"
 nil_min="$(min_ns "$tracing" "BenchmarkCachedSweepMinNilTraced")"
 untraced_min="$(min_ns "$tracing" "BenchmarkOracleSweepCached")"
 traced_min="$(min_ns "$tracing" "BenchmarkOracleSweepCachedTraced")"
 serial="$(printf '%s\n' "$suite" | awk '$1 ~ /^BenchmarkSuiteSerial/ {print $3}')"
+workers2="$(printf '%s\n' "$suite" | awk '$1 ~ /^BenchmarkSuiteWorkers2/ {print $3}')"
+workers4="$(printf '%s\n' "$suite" | awk '$1 ~ /^BenchmarkSuiteWorkers4/ {print $3}')"
 parallel="$(printf '%s\n' "$suite" | awk '$1 ~ /^BenchmarkSuiteParallel/ {print $3}')"
+# GOMAXPROCS, read off the -N suffix Go stamps on benchmark names.
+maxprocs="$(printf '%s\n' "$suite" | awk '$1 ~ /^BenchmarkSuiteParallel/ {
+	n = $1; sub(/^.*-/, "", n); print (n ~ /^[0-9]+$/) ? n : 1; exit }')"
 
 if [ -z "$uncached" ] || [ -z "$cached" ] || [ -z "$serial" ] || [ -z "$parallel" ] ||
+	[ -z "$workers2" ] || [ -z "$workers4" ] || [ -z "$uncached_allocs" ] ||
 	[ -z "$plain_min" ] || [ -z "$nil_min" ] || [ -z "$untraced_min" ] || [ -z "$traced_min" ]; then
 	echo "bench.sh: failed to parse benchmark output" >&2
 	printf '%s\n%s\n%s\n' "$oracle" "$tracing" "$suite" >&2
 	exit 1
 fi
 
-awk -v u="$uncached" -v c="$cached" -v s="$serial" -v p="$parallel" \
+awk -v u="$uncached" -v ua="$uncached_allocs" -v ub="$uncached_bytes" \
+	-v c="$cached" -v s="$serial" -v w2="$workers2" -v w4="$workers4" -v p="$parallel" \
+	-v mp="$maxprocs" \
 	-v pm="$plain_min" -v nm="$nil_min" -v tu="$untraced_min" -v tt="$traced_min" -v out="$out" '
 BEGIN {
 	osp = u / c
 	ssp = s / p
+	sp2 = s / w2
+	sp4 = s / w4
 	disabled = nm / pm - 1
 	enabled = tt / tu - 1
+	# Machine-aware scaling floor: an honest 3x at 4 workers needs 4
+	# CPUs; on a starved box the gate only bounds the bookkeeping cost.
+	floor4 = (mp >= 4) ? 3.0 : 0.75
 	printf "{\n" > out
 	printf "  \"benchmark\": \"sweep\",\n" >> out
 	printf "  \"oracle_sweep\": {\n" >> out
 	printf "    \"uncached_ns_op\": %.0f,\n", u >> out
 	printf "    \"cached_ns_op\": %.0f,\n", c >> out
-	printf "    \"speedup\": %.2f\n", osp >> out
+	printf "    \"speedup\": %.2f,\n", osp >> out
+	printf "    \"uncached_bytes_per_op\": %.0f,\n", ub >> out
+	printf "    \"uncached_allocs_per_op\": %.0f\n", ua >> out
 	printf "  },\n" >> out
 	printf "  \"tracing\": {\n" >> out
 	printf "    \"sweep_min_ns_op\": %.0f,\n", pm >> out
@@ -68,14 +95,19 @@ BEGIN {
 	printf "  },\n" >> out
 	printf "  \"suite\": {\n" >> out
 	printf "    \"serial_ns_op\": %.0f,\n", s >> out
+	printf "    \"workers2_ns_op\": %.0f,\n", w2 >> out
+	printf "    \"workers4_ns_op\": %.0f,\n", w4 >> out
 	printf "    \"parallel_ns_op\": %.0f,\n", p >> out
-	printf "    \"speedup\": %.2f\n", ssp >> out
+	printf "    \"max_workers\": %d,\n", mp >> out
+	printf "    \"speedup\": %.2f,\n", ssp >> out
+	printf "    \"speedup_by_workers\": {\"1\": 1.00, \"2\": %.2f, \"4\": %.2f, \"max\": %.2f},\n", sp2, sp4, ssp >> out
+	printf "    \"workers4_speedup_floor\": %.2f\n", floor4 >> out
 	printf "  }\n" >> out
 	printf "}\n" >> out
-	printf "oracle sweep:    %.0f ns/op uncached, %.0f ns/op cached (%.1fx)\n", u, c, osp
+	printf "oracle sweep:    %.0f ns/op uncached (%.0f allocs/op), %.0f ns/op cached (%.1fx)\n", u, ua, c, osp
 	printf "tracing (off):   %.0f ns/op plain, %.0f ns/op nil-traced (%+.1f%%)\n", pm, nm, disabled * 100
 	printf "tracing (live):  %.0f ns/op untraced, %.0f ns/op traced (%+.1f%%)\n", tu, tt, enabled * 100
-	printf "suite run:       %.0f ns/op serial, %.0f ns/op parallel (%.1fx)\n", s, p, ssp
+	printf "suite scaling:   1w %.0f, 2w %.0f (%.2fx), 4w %.0f (%.2fx), %dw %.0f (%.2fx)\n", s, w2, sp2, w4, sp4, mp, p, ssp
 	if (osp < 5) {
 		printf "bench.sh: cached oracle sweep speedup %.2fx is below the 5x gate\n", osp > "/dev/stderr"
 		exit 1
@@ -85,6 +117,17 @@ BEGIN {
 	# overhead is recorded but not gated — recording spans does real work.
 	if (disabled > 0.05) {
 		printf "bench.sh: disabled-tracing overhead %.1f%% on the cached sweep exceeds the 5%% gate\n", disabled * 100 > "/dev/stderr"
+		exit 1
+	}
+	# The gates from DESIGN.md section 13: the allocation budget of the
+	# uncached sweep (40% under the pre-overhaul 387 allocs/op) and the
+	# machine-aware 4-worker scaling floor.
+	if (ua > 232) {
+		printf "bench.sh: uncached oracle sweep burns %.0f allocs/op, above the 232 ceiling\n", ua > "/dev/stderr"
+		exit 1
+	}
+	if (sp4 < floor4) {
+		printf "bench.sh: 4-worker suite speedup %.2fx is below the %.2fx floor (GOMAXPROCS=%d)\n", sp4, floor4, mp > "/dev/stderr"
 		exit 1
 	}
 }'

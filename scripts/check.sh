@@ -3,9 +3,13 @@
 # analyzers (-werror: malformed suppressions fail too), race-detector
 # test run, a focused race pass over the concurrent service layer, an
 # observability smoke (the spans endpoint in both formats, the tracing
-# inertness gates, and the debug mux), a bounded chaos-soak of the
-# resilience layer (make soak), and the benchmark gate (simulation-memo
-# speedup plus the disabled-tracing overhead cap, BENCH_sweep.json).
+# inertness gates, and the debug mux), the hot-path equivalence gates
+# (golden float bits across the gpusim invariant hoisting, budgeted
+# nested parallelism vs serial, allocation-free sweeps), a bounded
+# chaos-soak of the resilience layer (make soak), and the benchmark
+# gate (simulation-memo speedup, the disabled-tracing overhead cap,
+# the sweep allocation ceiling, and the machine-aware parallel-scaling
+# floor, BENCH_sweep.json).
 set -eux
 cd "$(dirname "$0")/.."
 unformatted="$(gofmt -l .)"
@@ -27,5 +31,12 @@ go test -race -count=1 ./internal/serve/... ./internal/telemetry/...
 # debug handler.
 go test -count=1 -run 'TestGetSpans|TestTraceparentAdopted|TestRequestIDMintedAndEchoed|TestDebugHandler' ./internal/serve/
 go test -count=1 -run 'TestTracedRunBitIdentical|TestSameSeedSpanTreesByteIdentical' .
+# Hot-path equivalence gates: the hoisted gpusim invariants must stay
+# bit-exact against the embedded golden float bits, budgeted nested
+# parallelism must reproduce the serial pipeline byte for byte, and the
+# pooled sweep scratch must stay allocation-free at steady state.
+go test -count=1 -run 'TestGoldenBits' ./internal/gpusim/
+go test -count=1 -run 'TestBudgetedNestedSweepBitIdentical|TestEnvBudgetSplitSuiteBitIdentical' .
+go test -count=1 -run 'TestMinAllocationFree' ./internal/sweep/
 make soak SOAK_ITERS="${SOAK_ITERS:-4}"
 sh scripts/bench.sh

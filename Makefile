@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz serve fmt-check lint soak
+.PHONY: check build vet test race bench fuzz serve fmt-check lint lint-fix-check soak
 
-# The full pre-commit gate: formatting, build, vet, the domain linters,
-# and the test suite under the race detector.
-check: fmt-check build vet lint race
+# The full pre-commit gate: formatting, build, vet, the domain linters
+# (including the suggested-fix gate), and the test suite under the race
+# detector.
+check: fmt-check build vet lint lint-fix-check race
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \
@@ -18,11 +19,25 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Domain-specific static analysis (see DESIGN.md §10): determinism,
-# hardware-envelope, lock-scope, float-equality, and error-drop checks.
-# -werror also fails on malformed //lint:ignore directives.
+# Domain-specific static analysis (see DESIGN.md §10): the six
+# intraprocedural checks (determinism, hardware-envelope, lock-scope,
+# float-equality, error-drop, worker-budget) plus the four call-graph
+# checks (detertaint, ctxflow, spawnjoin, spanend) over the module-wide
+# effect summaries. -werror also fails on malformed //lint:ignore
+# directives.
 lint:
 	$(GO) run ./cmd/harmonia-lint -werror ./...
+
+# The suggested-fix layer's gate: -diff over the clean tree must print
+# nothing (no fixable findings pending), and the scratch-module fix
+# tests pin the -fix output bytes, gofmt cleanliness, and idempotence.
+lint-fix-check:
+	@fixdiff="$$($(GO) run ./cmd/harmonia-lint -diff ./... || true)"; \
+	if [ -n "$$fixdiff" ]; then \
+		echo "harmonia-lint -diff shows pending fixable findings:"; \
+		echo "$$fixdiff"; exit 1; \
+	fi
+	$(GO) test -count=1 -run 'TestFixApply|TestFixDiff' ./internal/lint/
 
 test:
 	$(GO) test ./...

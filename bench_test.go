@@ -8,6 +8,8 @@ package harmonia
 // EXPERIMENTS.md records one such run next to the paper's numbers.
 
 import (
+	"context"
+
 	"sync"
 	"testing"
 
@@ -144,7 +146,7 @@ func BenchmarkFig10ED2(b *testing.B) {
 	var sum experiments.Summary
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, sum, err = experiments.Fig10ED2(e)
+		_, sum, err = experiments.Fig10ED2(context.Background(), e)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -160,7 +162,7 @@ func BenchmarkFig11Energy(b *testing.B) {
 	var sum experiments.Summary
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, sum, err = experiments.Fig11Energy(e)
+		_, sum, err = experiments.Fig11Energy(context.Background(), e)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +175,7 @@ func BenchmarkFig12Power(b *testing.B) {
 	var sum experiments.Summary
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, sum, err = experiments.Fig12Power(e)
+		_, sum, err = experiments.Fig12Power(context.Background(), e)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -186,7 +188,7 @@ func BenchmarkFig13Performance(b *testing.B) {
 	var sum experiments.Summary
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, sum, err = experiments.Fig13Performance(e)
+		_, sum, err = experiments.Fig13Performance(context.Background(), e)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -200,7 +202,7 @@ func BenchmarkComputeOnlyDVFS(b *testing.B) {
 	var r experiments.ComputeOnlyResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = experiments.ComputeOnlyStudy(e)
+		r, err = experiments.ComputeOnlyStudy(context.Background(), e)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -266,7 +268,7 @@ func BenchmarkFig17PowerSharing(b *testing.B) {
 	e := benchLab(b)
 	var gpuShare float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig17PowerSharing(e)
+		r, err := experiments.Fig17PowerSharing(context.Background(), e)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -279,7 +281,7 @@ func BenchmarkFig18CGvsFG(b *testing.B) {
 	e := benchLab(b)
 	var fgIncr float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig18CGvsFG(e)
+		rows, err := experiments.Fig18CGvsFG(context.Background(), e)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -299,7 +301,7 @@ func BenchmarkAblationMemVoltageScaling(b *testing.B) {
 	var r experiments.MemVoltageResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = experiments.MemVoltageScalingStudy(e)
+		r, err = experiments.MemVoltageScalingStudy(context.Background(), e)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -313,7 +315,7 @@ func BenchmarkAblationObjectiveEDvsED2(b *testing.B) {
 	var r experiments.ObjectiveResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = experiments.ObjectiveStudy(e)
+		r, err = experiments.ObjectiveStudy(context.Background(), e)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -327,7 +329,7 @@ func BenchmarkAblationTDPCaps(b *testing.B) {
 	var rows []experiments.TDPRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.TDPStudy(e, []float64{250, 120})
+		rows, err = experiments.TDPStudy(context.Background(), e, []float64{250, 120})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -340,7 +342,7 @@ func BenchmarkAblationControllerKnobs(b *testing.B) {
 	var rows []experiments.KnobRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.ControllerKnobStudy(e)
+		rows, err = experiments.ControllerKnobStudy(context.Background(), e)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -508,7 +510,7 @@ func benchSuite(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {
 		e := experiments.NewEnv()
 		e.Workers = workers
-		if _, err := e.Results(); err != nil {
+		if _, err := e.Results(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

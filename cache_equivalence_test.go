@@ -121,11 +121,11 @@ func TestSerialParallelSuiteBitIdentical(t *testing.T) {
 	parallel := experiments.NewEnv()
 	parallel.Workers = 8
 
-	sr, err := serial.Results()
+	sr, err := serial.Results(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	pr, err := parallel.Results()
+	pr, err := parallel.Results(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,11 +135,11 @@ func TestSerialParallelSuiteBitIdentical(t *testing.T) {
 
 	// The robustness study exercises per-job fault injectors and the
 	// cache-bypass path; it must be worker-count-invariant too.
-	rs, err := experiments.Robustness(serial, 42, []float64{0, 0.5})
+	rs, err := experiments.Robustness(context.Background(), serial, 42, []float64{0, 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rp, err := experiments.Robustness(parallel, 42, []float64{0, 0.5})
+	rp, err := experiments.Robustness(context.Background(), parallel, 42, []float64{0, 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestLabSharesSystemCache(t *testing.T) {
 	}
 	// A lab session over the same app re-simulates nothing new at the
 	// baseline configuration.
-	res, err := experiments.ComputeOnlyStudy(lab)
+	res, err := experiments.ComputeOnlyStudy(context.Background(), lab)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,23 +1,34 @@
 // Command harmonia-lint runs the repo's domain-specific static
 // analyzers (internal/lint) over module packages and reports invariant
-// violations with file:line:col positions.
+// violations with file:line:col positions. Six analyzers are
+// intraprocedural; four (detertaint, ctxflow, spawnjoin, spanend) run
+// over a module-wide call graph with effect summaries propagated to a
+// fixed point, so they see through any wrapper depth.
 //
 // Usage:
 //
 //	harmonia-lint [flags] [packages]
 //
 // Packages default to ./... (the whole module containing the working
-// directory); explicit arguments name package directories. Flags:
+// directory); explicit arguments name package directories. When a
+// call-graph analyzer is selected alongside explicit directories, the
+// whole module is loaded anyway (interprocedural summaries are only
+// sound over the full graph) and findings are filtered to the requested
+// directories. Flags:
 //
-//	-checks a,b   run only the named checks (default: all six)
+//	-checks a,b   run only the named checks (default: all ten)
 //	-json         emit the stable JSON report instead of text
 //	-werror       treat warnings (malformed suppressions) as errors
 //	-list         print the available checks and exit
+//	-fix          apply suggested fixes in place (gofmt-clean, idempotent)
+//	-diff         print suggested fixes as a unified diff, change nothing
 //
 // The exit status is 1 when any error-severity finding survives
 // suppression (or any warning, under -werror), 2 on usage or load
-// failure, and 0 otherwise. Suppress an individual finding with a
-// trailing or preceding comment:
+// failure, and 0 otherwise. -fix does not change the exit status: it
+// reflects the findings of this run, before fixes were applied, so a
+// fix-then-verify flow re-runs the linter. Suppress an individual
+// finding with a trailing or preceding comment:
 //
 //	//lint:ignore <check> <reason>
 package main
@@ -39,13 +50,19 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("harmonia-lint", flag.ContinueOnError)
 	var (
-		checks  = fs.String("checks", "", "comma-separated checks to run (default all)")
-		asJSON  = fs.Bool("json", false, "emit the stable JSON report")
-		werror  = fs.Bool("werror", false, "treat warnings as errors")
-		list    = fs.Bool("list", false, "list available checks and exit")
-		rootDir = fs.String("root", "", "module root (default: found from the working directory)")
+		checks   = fs.String("checks", "", "comma-separated checks to run (default all)")
+		asJSON   = fs.Bool("json", false, "emit the stable JSON report")
+		werror   = fs.Bool("werror", false, "treat warnings as errors")
+		list     = fs.Bool("list", false, "list available checks and exit")
+		applyFix = fs.Bool("fix", false, "apply suggested fixes in place")
+		showDiff = fs.Bool("diff", false, "print suggested fixes as a unified diff without applying")
+		rootDir  = fs.String("root", "", "module root (default: found from the working directory)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *applyFix && *showDiff {
+		fmt.Fprintln(os.Stderr, "harmonia-lint: -fix and -diff are mutually exclusive")
 		return 2
 	}
 
@@ -77,31 +94,55 @@ func run(args []string) int {
 	}
 
 	loader := lint.NewLoader(root)
-	pkgs, err := loadPatterns(loader, root, fs.Args())
+	pkgs, onlyDirs, err := loadPatterns(loader, fs.Args(), lint.NeedsProgram(selected))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "harmonia-lint:", err)
 		return 2
 	}
 
 	diags := lint.Run(pkgs, selected, lint.DefaultPolicy())
+	if onlyDirs != nil {
+		diags = filterToDirs(diags, onlyDirs)
+	}
 
 	names := make([]string, len(selected))
 	for i, a := range selected {
 		names[i] = a.Name()
 	}
 	rep := lint.NewReport(root, names, diags)
-	if *asJSON {
+	switch {
+	case *showDiff:
+		res, err := lint.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "harmonia-lint:", err)
+			return 2
+		}
+		fmt.Print(res.Diff(root))
+	case *asJSON:
 		if err := lint.WriteJSON(os.Stdout, rep); err != nil {
 			fmt.Fprintln(os.Stderr, "harmonia-lint:", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, f := range rep.Findings {
 			fmt.Printf("%s:%d:%d: %s: [%s] %s\n", f.File, f.Line, f.Col, f.Severity, f.Check, f.Message)
 		}
 		if rep.Errors+rep.Warnings > 0 {
 			fmt.Printf("harmonia-lint: %d error(s), %d warning(s)\n", rep.Errors, rep.Warnings)
 		}
+	}
+	if *applyFix {
+		res, err := lint.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "harmonia-lint:", err)
+			return 2
+		}
+		if err := res.WriteFiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "harmonia-lint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "harmonia-lint: applied %d fix(es) to %d file(s), %d skipped (overlap)\n",
+			res.Applied, len(res.Files), res.Skipped)
 	}
 
 	if rep.Errors > 0 || (*werror && rep.Warnings > 0) {
@@ -112,10 +153,15 @@ func run(args []string) int {
 
 // loadPatterns resolves command-line package arguments. "./..." (or no
 // arguments) loads the whole module; other arguments name package
-// directories, with a trailing "/..." loading the subtree.
-func loadPatterns(loader *lint.Loader, root string, args []string) ([]*lint.Package, error) {
+// directories, with a trailing "/..." loading the subtree. When an
+// interprocedural analyzer is selected (needsProgram) and the arguments
+// name a subset, the whole module is loaded instead and the requested
+// directories are returned so the caller can filter findings — the call
+// graph must see every caller to be sound.
+func loadPatterns(loader *lint.Loader, args []string, needsProgram bool) ([]*lint.Package, []string, error) {
 	if len(args) == 0 {
-		return loader.LoadModule()
+		pkgs, err := loader.LoadModule()
+		return pkgs, nil, err
 	}
 	var dirs []string
 	seen := make(map[string]bool)
@@ -132,19 +178,41 @@ func loadPatterns(loader *lint.Loader, root string, args []string) ([]*lint.Pack
 	}
 	for _, arg := range args {
 		if arg == "./..." || arg == "..." {
-			return loader.LoadModule()
+			pkgs, err := loader.LoadModule()
+			return pkgs, nil, err
 		}
 		if dir, ok := strings.CutSuffix(arg, "/..."); ok {
 			sub, err := subdirsWithGo(dir)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			add(sub...)
 			continue
 		}
 		add(arg)
 	}
-	return loader.LoadDirs(dirs...)
+	if needsProgram {
+		pkgs, err := loader.LoadModule()
+		return pkgs, dirs, err
+	}
+	pkgs, err := loader.LoadDirs(dirs...)
+	return pkgs, nil, err
+}
+
+// filterToDirs keeps diagnostics whose file lives directly in one of the
+// requested package directories.
+func filterToDirs(diags []lint.Diagnostic, dirs []string) []lint.Diagnostic {
+	want := make(map[string]bool, len(dirs))
+	for _, d := range dirs {
+		want[filepath.Clean(d)] = true
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if want[filepath.Dir(filepath.Clean(d.Pos.Filename))] {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 func subdirsWithGo(dir string) ([]string, error) {

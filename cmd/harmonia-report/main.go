@@ -8,10 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"harmonia/internal/experiments"
 )
@@ -19,6 +22,11 @@ import (
 func main() {
 	only := flag.String("only", "", "regenerate a single artifact (fig1, table1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table2, table3, results, fig14, fig15, fig16, fig17, fig18, computeonly, accuracy, memvolt, objective, tdp, knobs, stacked)")
 	flag.Parse()
+
+	// Interrupting the report cancels in-flight fan-out at the next
+	// kernel boundary instead of abandoning workers mid-sweep.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	e := experiments.NewEnv()
 	want := func(name string) bool { return *only == "" || *only == name }
@@ -81,12 +89,12 @@ func main() {
 		fmt.Println(experiments.Table3Model(e))
 	}
 	if want("results") {
-		rows, sum, err := experiments.Fig10ED2(e)
+		rows, sum, err := experiments.Fig10ED2(ctx, e)
 		if err != nil {
 			fail(err)
 		}
 		_ = rows
-		results, err := e.Results()
+		results, err := e.Results(ctx)
 		if err != nil {
 			fail(err)
 		}
@@ -96,7 +104,7 @@ func main() {
 		fmt.Println()
 	}
 	if want("computeonly") {
-		r, err := experiments.ComputeOnlyStudy(e)
+		r, err := experiments.ComputeOnlyStudy(ctx, e)
 		if err != nil {
 			fail(err)
 		}
@@ -126,21 +134,21 @@ func main() {
 		fmt.Println(r)
 	}
 	if want("fig17") {
-		r, err := experiments.Fig17PowerSharing(e)
+		r, err := experiments.Fig17PowerSharing(ctx, e)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(r)
 	}
 	if want("fig18") {
-		rows, err := experiments.Fig18CGvsFG(e)
+		rows, err := experiments.Fig18CGvsFG(ctx, e)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(experiments.Fig18String(rows))
 	}
 	if want("memvolt") {
-		r, err := experiments.MemVoltageScalingStudy(e)
+		r, err := experiments.MemVoltageScalingStudy(ctx, e)
 		if err != nil {
 			fail(err)
 		}
@@ -148,7 +156,7 @@ func main() {
 		fmt.Println()
 	}
 	if want("objective") {
-		r, err := experiments.ObjectiveStudy(e)
+		r, err := experiments.ObjectiveStudy(ctx, e)
 		if err != nil {
 			fail(err)
 		}
@@ -156,7 +164,7 @@ func main() {
 		fmt.Println()
 	}
 	if want("tdp") {
-		rows, err := experiments.TDPStudy(e, []float64{250, 180, 150, 120})
+		rows, err := experiments.TDPStudy(ctx, e, []float64{250, 180, 150, 120})
 		if err != nil {
 			fail(err)
 		}
@@ -170,7 +178,7 @@ func main() {
 		fmt.Println(r)
 	}
 	if want("knobs") {
-		rows, err := experiments.ControllerKnobStudy(e)
+		rows, err := experiments.ControllerKnobStudy(ctx, e)
 		if err != nil {
 			fail(err)
 		}

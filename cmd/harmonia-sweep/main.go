@@ -14,8 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"harmonia"
 	"harmonia/internal/batch"
@@ -55,7 +57,11 @@ func main() {
 		if !*useCache {
 			env.Cache = nil
 		}
-		res, err := experiments.Robustness(env, *faultSeed, grid)
+		// A robustness sweep runs the whole suite per intensity; an
+		// interrupt cancels at the next kernel boundary.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		res, err := experiments.Robustness(ctx, env, *faultSeed, grid)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "harmonia-sweep: %v\n", err)
 			os.Exit(1)

@@ -218,6 +218,7 @@ func Map[J, R any](ctx context.Context, workers int, jobs []J, fn func(ctx conte
 	}
 
 	var wg sync.WaitGroup
+	//lint:ignore ctxflow workers run drain, which checks jobCtx.Err before every cell, and are wg-joined below
 	for w := 0; w < workers-1; w++ {
 		wg.Add(1)
 		go func() {

@@ -46,7 +46,7 @@ type MemVoltageResult struct {
 // MemVoltageScalingStudy quantifies the paper's repeated remark that
 // memory savings "would actually be greater" with a scalable memory
 // rail: it reruns the suite under Harmonia with both power models.
-func MemVoltageScalingStudy(e *Env) (MemVoltageResult, error) {
+func MemVoltageScalingStudy(ctx context.Context, e *Env) (MemVoltageResult, error) {
 	scaledParams := power.DefaultParams()
 	scaledParams.MemVoltageScaling = true
 	scaled := power.New(scaledParams)
@@ -55,9 +55,12 @@ func MemVoltageScalingStudy(e *Env) (MemVoltageResult, error) {
 		cardFixed, memFixed, cardScaled, memScaled float64
 	}
 	var res MemVoltageResult
-	perApp, err := batch.Map(context.Background(), e.Workers, workloads.Suite(),
-		func(_ context.Context, _ int, app *workloads.Application) (appRatios, error) {
+	perApp, err := batch.Map(ctx, e.Workers, workloads.Suite(),
+		func(cellCtx context.Context, _ int, app *workloads.Application) (appRatios, error) {
 			var r appRatios
+			// Four runs per cell (two power models × two policies):
+			// cancellation should land between runs, not only at
+			// batch.Map's cell boundary.
 			for _, variant := range []struct {
 				pm   *power.Model
 				card *float64
@@ -67,13 +70,13 @@ func MemVoltageScalingStudy(e *Env) (MemVoltageResult, error) {
 				{scaled, &r.cardScaled, &r.memScaled},
 			} {
 				base, err := (&session.Session{Sim: e.Runner(), Power: variant.pm, Policy: policy.NewBaseline()}).
-					Run(workloads.ByName(app.Name))
+					RunContext(cellCtx, workloads.ByName(app.Name))
 				if err != nil {
 					return r, err
 				}
 				hm, err := (&session.Session{Sim: e.Runner(), Power: variant.pm,
 					Policy: core.New(core.Options{Predictor: e.Predictor()})}).
-					Run(workloads.ByName(app.Name))
+					RunContext(cellCtx, workloads.ByName(app.Name))
 				if err != nil {
 					return r, err
 				}
@@ -122,7 +125,7 @@ type ObjectiveResult struct {
 }
 
 // ObjectiveStudy reruns the oracle with ED, ED², and energy objectives.
-func ObjectiveStudy(e *Env) (ObjectiveResult, error) {
+func ObjectiveStudy(ctx context.Context, e *Env) (ObjectiveResult, error) {
 	var res ObjectiveResult
 	type slot struct {
 		obj  oracle.Objective
@@ -138,7 +141,7 @@ func ObjectiveStudy(e *Env) (ObjectiveResult, error) {
 	type appPoint struct{ ratio, slow float64 }
 	outer, share := e.fanout(len(workloads.Suite()))
 	for _, sl := range slots {
-		perApp, err := batch.Map(context.Background(), outer, workloads.Suite(),
+		perApp, err := batch.Map(ctx, outer, workloads.Suite(),
 			func(_ context.Context, _ int, app *workloads.Application) (appPoint, error) {
 				base, err := e.session(policy.NewBaseline()).Run(workloads.ByName(app.Name))
 				if err != nil {
@@ -194,11 +197,11 @@ type TDPRow struct {
 
 // TDPStudy sweeps board power caps through the stock PowerTune manager,
 // demonstrating the fixed-envelope regime of the paper's introduction.
-func TDPStudy(e *Env, caps []float64) ([]TDPRow, error) {
+func TDPStudy(ctx context.Context, e *Env, caps []float64) ([]TDPRow, error) {
 	type appPoint struct{ slow, power float64 }
 	var rows []TDPRow
 	for _, cap := range caps {
-		perApp, err := batch.Map(context.Background(), e.Workers, workloads.Suite(),
+		perApp, err := batch.Map(ctx, e.Workers, workloads.Suite(),
 			func(_ context.Context, _ int, app *workloads.Application) (appPoint, error) {
 				base, err := e.session(policy.NewBaseline()).Run(workloads.ByName(app.Name))
 				if err != nil {
@@ -255,7 +258,7 @@ type KnobRow struct {
 
 // ControllerKnobStudy sweeps Harmonia's dithering budget and deadband,
 // validating the defaults DESIGN.md §6 documents.
-func ControllerKnobStudy(e *Env) ([]KnobRow, error) {
+func ControllerKnobStudy(ctx context.Context, e *Env) ([]KnobRow, error) {
 	variants := []struct {
 		label string
 		opts  core.Options
@@ -268,7 +271,7 @@ func ControllerKnobStudy(e *Env) ([]KnobRow, error) {
 	type appPoint struct{ ratio, slow float64 }
 	var rows []KnobRow
 	for _, v := range variants {
-		perApp, err := batch.Map(context.Background(), e.Workers, workloads.Suite(),
+		perApp, err := batch.Map(ctx, e.Workers, workloads.Suite(),
 			func(_ context.Context, _ int, app *workloads.Application) (appPoint, error) {
 				base, err := e.session(policy.NewBaseline()).Run(workloads.ByName(app.Name))
 				if err != nil {

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
+
 	"math"
 	"testing"
 )
 
 func TestMemVoltageScalingIncreasesSavings(t *testing.T) {
-	r, err := MemVoltageScalingStudy(env(t))
+	r, err := MemVoltageScalingStudy(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +28,7 @@ func TestMemVoltageScalingIncreasesSavings(t *testing.T) {
 }
 
 func TestObjectiveStudyEDSimilarToED2(t *testing.T) {
-	r, err := ObjectiveStudy(env(t))
+	r, err := ObjectiveStudy(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +50,7 @@ func TestObjectiveStudyEDSimilarToED2(t *testing.T) {
 }
 
 func TestTDPStudyThrottlesMonotonically(t *testing.T) {
-	rows, err := TDPStudy(env(t), []float64{250, 150, 110})
+	rows, err := TDPStudy(context.Background(), env(t), []float64{250, 150, 110})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func TestTDPStudyThrottlesMonotonically(t *testing.T) {
 }
 
 func TestControllerKnobDefaultsAreSane(t *testing.T) {
-	rows, err := ControllerKnobStudy(env(t))
+	rows, err := ControllerKnobStudy(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}

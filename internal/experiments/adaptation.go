@@ -209,10 +209,10 @@ var fig17Apps = []string{"BPT", "CoMD", "Graph500", "Sort", "SPMV", "Stencil", "
 // Fig17PowerSharing reproduces Figure 17. Applications fan out on the
 // Env's batch pool; rows and the savings accumulation keep the paper's
 // app order regardless of worker count.
-func Fig17PowerSharing(e *Env) (Fig17Result, error) {
+func Fig17PowerSharing(ctx context.Context, e *Env) (Fig17Result, error) {
 	var res Fig17Result
 	type appPower struct{ bGPU, bMem, hGPU, hMem float64 }
-	perApp, err := batch.Map(context.Background(), e.Workers, fig17Apps,
+	perApp, err := batch.Map(ctx, e.Workers, fig17Apps,
 		func(_ context.Context, _ int, name string) (appPower, error) {
 			base, err := e.session(policy.NewBaseline()).Run(workloads.ByName(name))
 			if err != nil {
@@ -287,8 +287,8 @@ var fig18Apps = []string{"CoMD", "Graph500", "LUD", "SPMV", "Streamcluster", "XS
 
 // Fig18CGvsFG reproduces Figure 18: the relative contributions of
 // coarse-grain and fine-grain tuning.
-func Fig18CGvsFG(e *Env) ([]Fig18Row, error) {
-	return batch.Map(context.Background(), e.Workers, fig18Apps,
+func Fig18CGvsFG(ctx context.Context, e *Env) ([]Fig18Row, error) {
+	return batch.Map(ctx, e.Workers, fig18Apps,
 		func(_ context.Context, _ int, name string) (Fig18Row, error) {
 			base, err := e.session(policy.NewBaseline()).Run(workloads.ByName(name))
 			if err != nil {

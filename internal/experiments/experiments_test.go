@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"math"
 	"sync"
 	"testing"
@@ -24,7 +26,7 @@ func env(t *testing.T) *Env {
 
 func results(t *testing.T) []AppResult {
 	t.Helper()
-	rs, err := env(t).Results()
+	rs, err := env(t).Results(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +320,7 @@ func TestTable3ModelQuality(t *testing.T) {
 // -------------------- Figures 10-13 --------------------
 
 func TestFig10HeadlineED2Results(t *testing.T) {
-	rows, sum, err := Fig10ED2(env(t))
+	rows, sum, err := Fig10ED2(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +355,7 @@ func TestFig10HeadlineED2Results(t *testing.T) {
 }
 
 func TestFig11EnergyGains(t *testing.T) {
-	rows, sum, err := Fig11Energy(env(t))
+	rows, sum, err := Fig11Energy(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +369,7 @@ func TestFig11EnergyGains(t *testing.T) {
 }
 
 func TestFig12PowerSavings(t *testing.T) {
-	rows, sum, err := Fig12Power(env(t))
+	rows, sum, err := Fig12Power(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +387,7 @@ func TestFig12PowerSavings(t *testing.T) {
 }
 
 func TestFig13PerformancePreserved(t *testing.T) {
-	rows, sum, err := Fig13Performance(env(t))
+	rows, sum, err := Fig13Performance(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -420,14 +422,14 @@ func TestFig13PerformancePreserved(t *testing.T) {
 // -------------------- Section 7 studies --------------------
 
 func TestComputeOnlyDVFSIsMarginal(t *testing.T) {
-	r, err := ComputeOnlyStudy(env(t))
+	r, err := ComputeOnlyStudy(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Paper: only ~3% ED2 gain with ~1% performance loss — the point is
 	// that compute-frequency-only scaling achieves far less than
 	// coordinated management.
-	_, sum, err := Fig10ED2(env(t))
+	_, sum, err := Fig10ED2(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -516,7 +518,7 @@ func TestFig16ComputePinnedMemoryMoves(t *testing.T) {
 }
 
 func TestFig17PowerSharingSplit(t *testing.T) {
-	r, err := Fig17PowerSharing(env(t))
+	r, err := Fig17PowerSharing(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -548,7 +550,7 @@ func TestFig17PowerSharingSplit(t *testing.T) {
 }
 
 func TestFig18FGRescuesCGOutliers(t *testing.T) {
-	rows, err := Fig18CGvsFG(env(t))
+	rows, err := Fig18CGvsFG(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -593,7 +595,7 @@ func TestResultsTableRenders(t *testing.T) {
 	if len(s) < 100 {
 		t.Errorf("suspiciously short table: %q", s)
 	}
-	_, sum, err := Fig10ED2(env(t))
+	_, sum, err := Fig10ED2(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -624,7 +626,7 @@ func TestStressExclusionGeomean(t *testing.T) {
 func TestResultsDeterministic(t *testing.T) {
 	// A second Env must reproduce the identical headline number.
 	e2 := NewEnv()
-	rs2, err := e2.Results()
+	rs2, err := e2.Results(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

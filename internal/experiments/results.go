@@ -59,7 +59,12 @@ func (a AppResult) Slowdown(s metrics.Sample) float64 {
 // Applications fan out across the Env's batch pool (one job per app;
 // Env.Workers bounds it) with results assembled in suite order, so the
 // parallel evaluation is bit-identical to the serial one.
-func (e *Env) Results() ([]AppResult, error) {
+//
+// ctx cancels the fan-out at the next kernel boundary. The evaluation
+// is memoized on the Env: the first caller's ctx governs the one run
+// that actually executes, and a canceled first run sticks as the
+// memoized error.
+func (e *Env) Results(ctx context.Context) ([]AppResult, error) {
 	e.resultsOnce.Do(func() {
 		// Train the predictor before fanning out so the one-time sweep
 		// isn't raced into by every worker at once.
@@ -67,8 +72,8 @@ func (e *Env) Results() ([]AppResult, error) {
 		// The Env budget splits across the app fan-out: each job's
 		// oracle sweeps with its share rather than full GOMAXPROCS.
 		outer, share := e.fanout(len(workloads.Suite()))
-		results, err := batch.Map(context.Background(), outer, workloads.Suite(),
-			func(_ context.Context, _ int, app *workloads.Application) (AppResult, error) {
+		results, err := batch.Map(ctx, outer, workloads.Suite(),
+			func(cellCtx context.Context, _ int, app *workloads.Application) (AppResult, error) {
 				res := AppResult{App: app.Name, Stress: app.Stress}
 				runs := []struct {
 					dst    *metrics.Sample
@@ -80,8 +85,10 @@ func (e *Env) Results() ([]AppResult, error) {
 					{&res.Oracle, e.oracleFor(app, share)},
 					{&res.ComputeOnly, e.computeOnly()},
 				}
+				// Five policy runs per cell: cancellation should land
+				// between runs, not only at batch.Map's cell boundary.
 				for _, r := range runs {
-					rep, err := e.session(r.policy).Run(app)
+					rep, err := e.session(r.policy).RunContext(cellCtx, app)
 					if err != nil {
 						return res, err
 					}
@@ -165,8 +172,8 @@ type Fig10Row struct {
 
 // Fig10ED2 reproduces Figure 10: per-application ED² improvement of CG,
 // FG+CG (Harmonia), and the oracle over the baseline, plus both geomeans.
-func Fig10ED2(e *Env) ([]Fig10Row, Summary, error) {
-	results, err := e.Results()
+func Fig10ED2(ctx context.Context, e *Env) ([]Fig10Row, Summary, error) {
+	results, err := e.Results(ctx)
 	if err != nil {
 		return nil, Summary{}, err
 	}
@@ -180,8 +187,8 @@ func Fig10ED2(e *Env) ([]Fig10Row, Summary, error) {
 }
 
 // Fig11Energy reproduces Figure 11: per-application energy improvement.
-func Fig11Energy(e *Env) ([]Fig10Row, Summary, error) {
-	results, err := e.Results()
+func Fig11Energy(ctx context.Context, e *Env) ([]Fig10Row, Summary, error) {
+	results, err := e.Results(ctx)
 	if err != nil {
 		return nil, Summary{}, err
 	}
@@ -195,8 +202,8 @@ func Fig11Energy(e *Env) ([]Fig10Row, Summary, error) {
 }
 
 // Fig12Power reproduces Figure 12: per-application power savings.
-func Fig12Power(e *Env) ([]Fig10Row, Summary, error) {
-	results, err := e.Results()
+func Fig12Power(ctx context.Context, e *Env) ([]Fig10Row, Summary, error) {
+	results, err := e.Results(ctx)
 	if err != nil {
 		return nil, Summary{}, err
 	}
@@ -217,8 +224,8 @@ type Fig13Row struct {
 }
 
 // Fig13Performance reproduces Figure 13.
-func Fig13Performance(e *Env) ([]Fig13Row, Summary, error) {
-	results, err := e.Results()
+func Fig13Performance(ctx context.Context, e *Env) ([]Fig13Row, Summary, error) {
+	results, err := e.Results(ctx)
 	if err != nil {
 		return nil, Summary{}, err
 	}
@@ -240,8 +247,8 @@ type ComputeOnlyResult struct {
 // ComputeOnlyStudy reproduces the paper's observation that compute
 // frequency and voltage scaling alone achieves only small ED² gains
 // (~3% with 1% performance loss on the physical platform).
-func ComputeOnlyStudy(e *Env) (ComputeOnlyResult, error) {
-	results, err := e.Results()
+func ComputeOnlyStudy(ctx context.Context, e *Env) (ComputeOnlyResult, error) {
+	results, err := e.Results(ctx)
 	if err != nil {
 		return ComputeOnlyResult{}, err
 	}

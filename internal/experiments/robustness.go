@@ -52,7 +52,7 @@ var DefaultIntensities = []float64{0, 0.25, 0.5, 1}
 // applications fan out on the Env's batch pool with results assembled
 // in suite order, and each job owns its injector and controller, so
 // the parallel sweep is bit-identical to the serial one.
-func Robustness(e *Env, seed int64, intensities []float64) (RobustnessResult, error) {
+func Robustness(ctx context.Context, e *Env, seed int64, intensities []float64) (RobustnessResult, error) {
 	if len(intensities) == 0 {
 		intensities = DefaultIntensities
 	}
@@ -63,7 +63,7 @@ func Robustness(e *Env, seed int64, intensities []float64) (RobustnessResult, er
 	// equivalence property the hardened and naive controllers produce
 	// identical clean runs, so one run serves as both denominators.
 	type cleanPoint struct{ ed2, time float64 }
-	clean, err := batch.Map(context.Background(), e.Workers, suite,
+	clean, err := batch.Map(ctx, e.Workers, suite,
 		func(_ context.Context, _ int, app *workloads.Application) (cleanPoint, error) {
 			rep, err := e.session(e.harmonia()).Run(app)
 			if err != nil {
@@ -78,7 +78,7 @@ func Robustness(e *Env, seed int64, intensities []float64) (RobustnessResult, er
 	type faultPoint struct{ ed2N, ed2H, tN, tH float64 }
 	for _, intensity := range intensities {
 		pt := RobustnessPoint{Intensity: intensity}
-		perApp, err := batch.Map(context.Background(), e.Workers, suite,
+		perApp, err := batch.Map(ctx, e.Workers, suite,
 			func(_ context.Context, i int, app *workloads.Application) (faultPoint, error) {
 				// Per-application seed: every app sees its own deterministic
 				// fault stream, stable across intensities and controllers.

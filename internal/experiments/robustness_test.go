@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"math"
 	"testing"
 )
@@ -12,7 +14,7 @@ import (
 // its seed.
 func TestRobustnessStudy(t *testing.T) {
 	e := NewEnv()
-	res, err := Robustness(e, 42, nil)
+	res, err := Robustness(context.Background(), e, 42, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +48,7 @@ func TestRobustnessStudy(t *testing.T) {
 	}
 
 	// Reproducibility: same seed, same numbers, bit for bit.
-	res2, err := Robustness(e, 42, nil)
+	res2, err := Robustness(context.Background(), e, 42, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

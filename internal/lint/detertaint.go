@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterTaint is the interprocedural companion to Nondeterminism: it
+// flags calls, inside the deterministic packages, whose callee
+// transitively reaches a wall-clock read or an unseeded math/rand draw
+// through any wrapper depth. The intraprocedural check only sees
+// time.Now spelled in the current function body; a helper that wraps it
+// one package away sails through. This check walks the module call
+// graph instead, and prints the offending call path in the diagnostic
+// so the violation is actionable without re-deriving the chain by hand.
+//
+// Sanctioned sinks do not taint: functions in the policy's exempt
+// packages (serve, telemetry, faults, resilience under the default
+// policy) are barriers, and direct seeds carrying a //lint:ignore
+// nondeterminism (or detertaint) directive — the trace package's
+// injectable wall-clock default — are not seeds at all.
+//
+// A callee living inside the deterministic scope itself is not
+// re-reported at every caller: the violation is reported where the
+// taint enters the scope (the callee's own body fails nondeterminism or
+// this check), so each root cause surfaces exactly once.
+type DeterTaint struct{}
+
+// Name implements Analyzer.
+func (*DeterTaint) Name() string { return "detertaint" }
+
+// Doc implements Analyzer.
+func (*DeterTaint) Doc() string {
+	return "forbid calls in deterministic packages that transitively reach wall-clock/unseeded-rand through any wrapper depth"
+}
+
+func (*DeterTaint) needsProgram() bool { return true }
+
+// Run implements Analyzer.
+func (a *DeterTaint) Run(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	scope := pass.Scope
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			node := prog.Nodes[funcObj(pass, fd)]
+			if node == nil {
+				continue
+			}
+			seen := map[string]bool{}
+			for _, edge := range node.Calls {
+				callee := edge.Callee
+				// Report where the taint crosses into the deterministic
+				// scope: callees already inside the scope carry their
+				// own findings.
+				if scope.Applies(callee.Pkg.Path) {
+					continue
+				}
+				if callee.barrier {
+					continue
+				}
+				for _, bit := range []Effect{EffWallClock, EffUnseededRand} {
+					if callee.Trans&bit == 0 {
+						continue
+					}
+					key := pass.Pkg.Fset.Position(edge.Pos).String() + callee.Name()
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					pass.Reportf(edge.Pos,
+						"call to %s transitively reaches a %s: %s; deterministic packages must take time/randomness as inputs",
+						callee.Name(), effectDesc[bit], prog.TaintPath(callee, bit, pass.Root))
+				}
+			}
+		}
+	}
+}
+
+// funcObj resolves a declaration to its function object.
+func funcObj(pass *Pass, fd *ast.FuncDecl) *types.Func {
+	if pass.Pkg.Info == nil {
+		return nil
+	}
+	fn, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+	return fn
+}

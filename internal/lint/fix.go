@@ -1,0 +1,356 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The suggested-fix layer: analyzers attach machine-applicable textual
+// edits to diagnostics, cmd/harmonia-lint applies them (-fix) or prints
+// them as a unified diff (-diff), and the -json schema carries them in
+// a suggested_fixes field. Fixes are byte-offset edits resolved at
+// report time, so application needs no re-analysis; applied files are
+// passed through gofmt, making -fix output formatting-clean and
+// idempotent (a fixed tree produces no further fixable findings).
+
+// TextEdit replaces the byte range [Start, End) of File with NewText.
+// Offsets are resolved from the analysis FileSet when the diagnostic is
+// reported; File is absolute internally and relativized in JSON.
+type TextEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
+}
+
+// SuggestedFix is one self-contained alternative: applying all its
+// edits resolves the finding.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// edit builds a TextEdit replacing the source range [pos, end) with
+// newText, resolving byte offsets from the analysis FileSet.
+func (p *Pass) edit(pos, end token.Pos, newText string) TextEdit {
+	start := p.Pkg.Fset.Position(pos)
+	stop := p.Pkg.Fset.Position(end)
+	return TextEdit{File: start.Filename, Start: start.Offset, End: stop.Offset, NewText: newText}
+}
+
+// ReportFixf records a finding carrying one suggested fix.
+func (p *Pass) ReportFixf(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	p.report(Diagnostic{
+		Check:    p.check,
+		Severity: SevError,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    []SuggestedFix{fix},
+	})
+}
+
+// importEdit returns the edit that adds path to f's imports (empty edit
+// with ok=false when the file already imports it), plus the local name
+// the import is reachable under.
+func (p *Pass) importEdit(f *ast.File, path string) (TextEdit, string, bool) {
+	if name, ok := localImportName(f, path); ok {
+		return TextEdit{}, name, false
+	}
+	base := path[strings.LastIndex(path, "/")+1:]
+	// Insert after the last existing import spec, or after the package
+	// clause when the file has no imports.
+	for i := len(f.Decls) - 1; i >= 0; i-- {
+		gd, ok := f.Decls[i].(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT || len(gd.Specs) == 0 {
+			continue
+		}
+		if !gd.Lparen.IsValid() {
+			// Unparenthesized `import "x"`: a bare spec after it would not
+			// parse, so append a sibling import declaration instead.
+			return p.edit(gd.End(), gd.End(), "\nimport \""+path+"\""), base, true
+		}
+		last := gd.Specs[len(gd.Specs)-1]
+		return p.edit(last.End(), last.End(), "\n\""+path+"\""), base, true
+	}
+	return p.edit(f.Name.End(), f.Name.End(), "\n\nimport \""+path+"\""), base, true
+}
+
+// srcText returns the source text of the node range, read back from the
+// file bytes (the loader parses from disk, so offsets are exact).
+func (p *Pass) srcText(pos, end token.Pos) string {
+	start := p.Pkg.Fset.Position(pos)
+	stop := p.Pkg.Fset.Position(end)
+	data, err := os.ReadFile(start.Filename)
+	if err != nil || stop.Offset > len(data) || start.Offset > stop.Offset {
+		return ""
+	}
+	return string(data[start.Offset:stop.Offset])
+}
+
+// FixResult is the outcome of applying suggested fixes to a tree.
+type FixResult struct {
+	// Files maps absolute paths to their post-fix, gofmt-clean content.
+	Files map[string][]byte
+	// Originals holds the pre-fix content of each touched file.
+	Originals map[string][]byte
+	// Applied counts fixes applied; Skipped counts fixes dropped
+	// because their edits overlapped an earlier fix.
+	Applied, Skipped int
+}
+
+// ApplyFixes computes the result of applying every suggested fix
+// carried by diags. Conflicting fixes (overlapping edits in one file)
+// are applied first-come by diagnostic order; later overlapping fixes
+// are skipped and counted. Nothing is written to disk — the caller
+// decides between writing (-fix) and diffing (-diff).
+func ApplyFixes(diags []Diagnostic) (*FixResult, error) {
+	res := &FixResult{Files: map[string][]byte{}, Originals: map[string][]byte{}}
+	type span struct{ start, end int }
+	type insertion struct {
+		file string
+		off  int
+		text string
+	}
+	taken := map[string][]span{}
+	inserted := map[insertion]bool{}
+	edits := map[string][]TextEdit{}
+
+	overlaps := func(file string, s span) bool {
+		for _, t := range taken[file] {
+			if s.start < t.end && t.start < s.end {
+				// Zero-width inserts at the same offset conflict too —
+				// two fixes adding different imports at one point would
+				// need ordering this layer does not define.
+				return true
+			}
+			if s.start == t.start && s.end == t.end {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			conflict := false
+			var apply []TextEdit
+			for _, e := range fix.Edits {
+				// An insertion identical to one already taken (two fixes in
+				// one file both adding the same import) is satisfied by the
+				// first occurrence: drop the edit, keep the fix.
+				if e.Start == e.End && inserted[insertion{e.File, e.Start, e.NewText}] {
+					continue
+				}
+				s := span{e.Start, e.End}
+				if s.start == s.end { // insertion: widen so overlaps collide
+					s.end++
+				}
+				if overlaps(e.File, s) {
+					conflict = true
+					break
+				}
+				apply = append(apply, e)
+			}
+			if conflict {
+				res.Skipped++
+				continue
+			}
+			for _, e := range apply {
+				s := span{e.Start, e.End}
+				if s.start == s.end {
+					s.end++
+					inserted[insertion{e.File, e.Start, e.NewText}] = true
+				}
+				taken[e.File] = append(taken[e.File], s)
+				edits[e.File] = append(edits[e.File], e)
+			}
+			res.Applied++
+			break // one fix per diagnostic
+		}
+	}
+
+	for file, es := range edits {
+		orig, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("applying fixes: %w", err)
+		}
+		res.Originals[file] = orig
+		sort.Slice(es, func(i, j int) bool { return es[i].Start > es[j].Start })
+		out := append([]byte(nil), orig...)
+		for _, e := range es {
+			if e.Start < 0 || e.End > len(out) || e.Start > e.End {
+				return nil, fmt.Errorf("edit out of range in %s: [%d,%d) of %d bytes", file, e.Start, e.End, len(out))
+			}
+			out = append(out[:e.Start], append([]byte(e.NewText), out[e.End:]...)...)
+		}
+		formatted, err := format.Source(out)
+		if err != nil {
+			// A fix that breaks parsing is a bug; surface it rather than
+			// writing a broken file.
+			return nil, fmt.Errorf("fix output for %s does not parse: %w", file, err)
+		}
+		res.Files[file] = formatted
+	}
+	return res, nil
+}
+
+// WriteFiles writes every fixed file back to disk.
+func (r *FixResult) WriteFiles() error {
+	files := make([]string, 0, len(r.Files))
+	for f := range r.Files {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		info, err := os.Stat(f)
+		mode := os.FileMode(0o644)
+		if err == nil {
+			mode = info.Mode()
+		}
+		if err := os.WriteFile(f, r.Files[f], mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Diff renders the pending changes as a unified diff with root-relative
+// paths, files in sorted order.
+func (r *FixResult) Diff(root string) string {
+	files := make([]string, 0, len(r.Files))
+	for f := range r.Files {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var buf bytes.Buffer
+	for _, f := range files {
+		rel := f
+		if rr, err := filepath.Rel(root, f); err == nil && !strings.HasPrefix(rr, "..") {
+			rel = filepath.ToSlash(rr)
+		}
+		fmt.Fprintf(&buf, "--- a/%s\n+++ b/%s\n", rel, rel)
+		buf.WriteString(unifiedDiff(string(r.Originals[f]), string(r.Files[f])))
+	}
+	return buf.String()
+}
+
+// unifiedDiff computes hunks via a line-level LCS; the inputs are
+// source files small enough that the quadratic table is irrelevant.
+func unifiedDiff(a, b string) string {
+	al := splitLines(a)
+	bl := splitLines(b)
+	// LCS table.
+	n, m := len(al), len(bl)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if al[i] == bl[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	type op struct {
+		kind byte // ' ', '-', '+'
+		text string
+		ai   int
+		bi   int
+	}
+	var ops []op
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case al[i] == bl[j]:
+			ops = append(ops, op{' ', al[i], i, j})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, op{'-', al[i], i, j})
+			i++
+		default:
+			ops = append(ops, op{'+', bl[j], i, j})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, op{'-', al[i], i, j})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, op{'+', bl[j], i, j})
+	}
+
+	const ctx = 3
+	var buf bytes.Buffer
+	k := 0
+	for k < len(ops) {
+		if ops[k].kind == ' ' {
+			k++
+			continue
+		}
+		// Hunk around the change run starting at k.
+		start := k - ctx
+		if start < 0 {
+			start = 0
+		}
+		end := k
+		gap := 0
+		for end < len(ops) && gap <= 2*ctx {
+			if ops[end].kind == ' ' {
+				gap++
+			} else {
+				gap = 0
+			}
+			end++
+		}
+		// Trim trailing context beyond ctx lines.
+		trail := 0
+		for end > k && ops[end-1].kind == ' ' && trail < gap-ctx {
+			end--
+			trail++
+		}
+		aStart, bStart := ops[start].ai+1, ops[start].bi+1
+		var aCount, bCount int
+		for _, o := range ops[start:end] {
+			if o.kind != '+' {
+				aCount++
+			}
+			if o.kind != '-' {
+				bCount++
+			}
+		}
+		fmt.Fprintf(&buf, "@@ -%d,%d +%d,%d @@\n", aStart, aCount, bStart, bCount)
+		for _, o := range ops[start:end] {
+			buf.WriteByte(o.kind)
+			buf.WriteString(o.text)
+			buf.WriteByte('\n')
+		}
+		k = end
+	}
+	return buf.String()
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// FixableChecks names the analyzers that attach suggested fixes; the
+// scripts/check.sh lint-fix-check gate asserts a fixed tree is clean
+// for exactly this set.
+func FixableChecks() []string { return []string{"floateq", "hwenvelope", "errdrop"} }

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"bytes"
+	"go/format"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixAnalyzers are the three analyzers that attach suggested fixes.
+func fixAnalyzers() []Analyzer {
+	return []Analyzer{&HWEnvelope{}, NewFloatEq(), &ErrDrop{}}
+}
+
+// setupFixModule builds a scratch module containing the fixapply
+// fixture plus the packages its fixes reference (hw for the
+// constructors, floats for the comparison helpers), so fixes can be
+// applied and the result re-linted without touching the repo tree.
+func setupFixModule(t *testing.T) (tmpRoot, fixtureDir string) {
+	t.Helper()
+	_, root := fixtureEnv(t)
+	tmp := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte("module harmonia\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	copyGo := func(srcDir, dstDir string) {
+		t.Helper()
+		if err := os.MkdirAll(dstDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		ents, err := os.ReadDir(srcDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(srcDir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dstDir, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	copyGo(filepath.Join(root, "internal", "hw"), filepath.Join(tmp, "internal", "hw"))
+	copyGo(filepath.Join(root, "internal", "floats"), filepath.Join(tmp, "internal", "floats"))
+	dir := filepath.Join(tmp, "fixapply")
+	copyGo(filepath.Join(root, "internal", "lint", "testdata", "src", "fixapply"), dir)
+	return tmp, dir
+}
+
+func lintFixModule(t *testing.T, tmpRoot, dir string) []Diagnostic {
+	t.Helper()
+	loader := NewLoader(tmpRoot)
+	pkgs, err := loader.LoadDirs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("fix module does not type-check: %v", terr)
+		}
+	}
+	return Run(pkgs, fixAnalyzers(), DefaultPolicy())
+}
+
+// TestFixApplyGolden pins the exact post-fix bytes of the fixapply
+// fixture: every finding carries a fix, one application pass resolves
+// them all (the shared floats import is deduplicated, not skipped), and
+// the output is gofmt-clean.
+func TestFixApplyGolden(t *testing.T) {
+	tmp, dir := setupFixModule(t)
+	diags := lintFixModule(t, tmp, dir)
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	// A multi-field envelope literal yields one finding per field but
+	// carries its whole-literal fix on the first; count fix-bearing
+	// findings rather than findings.
+	withFix := 0
+	for _, d := range diags {
+		if len(d.Fixes) > 0 {
+			withFix++
+		}
+	}
+	if want := 5; withFix != want { // ComputeConfig, MemConfig, errdrop stub, Equal, Zero
+		t.Errorf("got %d fix-bearing findings, want %d", withFix, want)
+	}
+	res, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 0 {
+		t.Errorf("ApplyFixes skipped %d fixes; the fixture's fixes must not conflict", res.Skipped)
+	}
+	if res.Applied != withFix {
+		t.Errorf("applied %d fixes for %d fix-bearing findings", res.Applied, withFix)
+	}
+	fixed, ok := res.Files[filepath.Join(dir, "fixapply.go")]
+	if !ok {
+		t.Fatal("no fixed content for fixapply.go")
+	}
+	if formatted, err := format.Source(fixed); err != nil {
+		t.Fatalf("fixed output does not parse: %v", err)
+	} else if !bytes.Equal(formatted, fixed) {
+		t.Errorf("fixed output is not gofmt-clean:\n%s", fixed)
+	}
+	checkGolden(t, "fixapply.go", string(fixed))
+}
+
+// TestFixApplyIdempotent writes the fixed tree back and re-lints it:
+// the fixable findings are gone, and a second -fix pass changes
+// nothing.
+func TestFixApplyIdempotent(t *testing.T) {
+	tmp, dir := setupFixModule(t)
+	diags := lintFixModule(t, tmp, dir)
+	res, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteFiles(); err != nil {
+		t.Fatal(err)
+	}
+
+	again := lintFixModule(t, tmp, dir)
+	if len(again) != 0 {
+		for _, d := range again {
+			t.Errorf("fixed tree still has a finding: %s", d)
+		}
+	}
+	res2, err := ApplyFixes(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Applied != 0 || len(res2.Files) != 0 {
+		t.Errorf("second fix pass applied %d fixes to %d files; -fix must be idempotent", res2.Applied, len(res2.Files))
+	}
+}
+
+// TestFixDiff asserts the unified-diff rendering covers every touched
+// file with root-relative paths and hunk headers.
+func TestFixDiff(t *testing.T) {
+	tmp, dir := setupFixModule(t)
+	diags := lintFixModule(t, tmp, dir)
+	res, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := res.Diff(tmp)
+	if !strings.Contains(diff, "--- a/fixapply/fixapply.go") || !strings.Contains(diff, "+++ b/fixapply/fixapply.go") {
+		t.Errorf("diff missing root-relative file header:\n%s", diff)
+	}
+	if !strings.Contains(diff, "@@ ") {
+		t.Errorf("diff has no hunk headers:\n%s", diff)
+	}
+	if !strings.Contains(diff, "+\treturn hw.NewComputeConfig(10, 500)") {
+		t.Errorf("diff missing constructor rewrite:\n%s", diff)
+	}
+}

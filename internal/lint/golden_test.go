@@ -157,3 +157,70 @@ func TestGoldenErrDrop(t *testing.T) {
 	diags := Run(pkgs, []Analyzer{&ErrDrop{}}, DefaultPolicy())
 	checkGolden(t, "errdrop", renderDiags(root, diags))
 }
+
+// TestGoldenDeterTaint demonstrates the wrapper-indirected true positive
+// (taintdet reaches time.Now two hops away through taintwrap), the
+// sanctioned-seed escape (a directive on the seed keeps it out of the
+// summaries), the barrier escape (taintallow is policy-exempt, so its
+// taint stays put), and the in-file suppression.
+func TestGoldenDeterTaint(t *testing.T) {
+	loader, root := fixtureEnv(t)
+	pkgs, err := loader.LoadDirs(
+		fixtureDir(root, "taintdet"),
+		fixtureDir(root, "taintwrap"),
+		fixtureDir(root, "taintallow"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := Policy{Scopes: map[string]Scope{
+		"detertaint": {
+			Only:   []string{fixturePath("taintdet")},
+			Exempt: []string{fixturePath("taintallow")},
+		},
+	}}
+	diags := Run(pkgs, []Analyzer{&DeterTaint{}}, pol)
+	checkGolden(t, "detertaint", renderDiags(root, diags))
+}
+
+// TestGoldenCtxFlow demonstrates the Background/TODO findings, the
+// same-package delegation-wrapper escape versus the cross-package
+// wrapper finding, the stored-context field, the fan-out loop whose
+// goroutine spawn is two wrapper hops away, the joined loop whose ctx
+// consultation is equally indirect, and the in-file suppression.
+func TestGoldenCtxFlow(t *testing.T) {
+	loader, root := fixtureEnv(t)
+	pkgs, err := loader.LoadDirs(fixtureDir(root, "ctxfix"), fixtureDir(root, "ctxhelp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []Analyzer{&CtxFlow{}}, DefaultPolicy())
+	checkGolden(t, "ctxflow", renderDiags(root, diags))
+}
+
+// TestGoldenSpawnJoin demonstrates the no-join leaks (named callee and
+// literal), the joined shapes — WaitGroup Done two helper hops away,
+// channel send, ctx cancellation edge — and the in-file suppression.
+func TestGoldenSpawnJoin(t *testing.T) {
+	loader, root := fixtureEnv(t)
+	pkgs, err := loader.LoadDirs(fixtureDir(root, "spawnfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []Analyzer{&SpawnJoin{}}, DefaultPolicy())
+	checkGolden(t, "spawnjoin", renderDiags(root, diags))
+}
+
+// TestGoldenSpanEnd demonstrates the never-Ended and early-return
+// leaks, the dropped start, and the clean shapes: deferred End,
+// delegation to an ending helper two hops away, ownership escape by
+// return, the closure frame, and the in-file suppression.
+func TestGoldenSpanEnd(t *testing.T) {
+	loader, root := fixtureEnv(t)
+	pkgs, err := loader.LoadDirs(fixtureDir(root, "spanfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []Analyzer{&SpanEnd{}}, DefaultPolicy())
+	checkGolden(t, "spanend", renderDiags(root, diags))
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"strings"
 )
 
 // HWEnvelope keeps the paper's hardware envelope — 8 CU counts × 8
@@ -62,12 +63,24 @@ func (a *HWEnvelope) checkComposite(pass *Pass, lit *ast.CompositeLit) {
 	if !isEnvelope {
 		return
 	}
+	// When the literal can be rewritten as a clamping-constructor call
+	// outright, the first flagged field carries the whole-literal fix.
+	fix, fixable := a.constructorFix(pass, lit, name)
+	reported := false
+	report := func(pos token.Pos, format string, args ...any) {
+		if fixable && !reported {
+			reported = true
+			pass.ReportFixf(pos, fix, format, args...)
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
 	for _, elt := range lit.Elts {
 		kv, ok := elt.(*ast.KeyValueExpr)
 		if !ok {
 			// Positional form: any literal element is a raw tunable.
 			if bl := intLiteral(elt); bl != nil {
-				pass.Reportf(bl.Pos(), "raw hardware literal %s in hw.%s; use hw constants or hw.NewConfig/NewComputeConfig/NewMemConfig", bl.Value, name)
+				report(bl.Pos(), "raw hardware literal %s in hw.%s; use hw constants or hw.NewConfig/NewComputeConfig/NewMemConfig", bl.Value, name)
 			}
 			continue
 		}
@@ -76,9 +89,84 @@ func (a *HWEnvelope) checkComposite(pass *Pass, lit *ast.CompositeLit) {
 			continue
 		}
 		if bl := intLiteral(kv.Value); bl != nil {
-			pass.Reportf(bl.Pos(), "raw hardware literal %s for hw.%s.%s; use hw constants or hw.NewConfig/NewComputeConfig/NewMemConfig", bl.Value, name, key.Name)
+			report(bl.Pos(), "raw hardware literal %s for hw.%s.%s; use hw constants or hw.NewConfig/NewComputeConfig/NewMemConfig", bl.Value, name, key.Name)
 		}
 	}
+}
+
+// hwConstructorArgs maps each envelope type to its clamping
+// constructor's parameter order.
+var hwConstructorArgs = map[string]struct {
+	ctor   string
+	params []string
+}{
+	"ComputeConfig": {"NewComputeConfig", []string{"CUs", "Freq"}},
+	"MemConfig":     {"NewMemConfig", []string{"BusFreq"}},
+}
+
+// constructorFix rewrites a fully-literal envelope composite into the
+// matching clamping-constructor call — hw.ComputeConfig{CUs: 10, Freq:
+// 500} becomes hw.NewComputeConfig(10, 500). Only offered when every
+// constructor parameter is supplied as a literal (keyed in any order, or
+// exactly positional), so the rewrite never changes which fields are
+// set.
+func (a *HWEnvelope) constructorFix(pass *Pass, lit *ast.CompositeLit, name string) (SuggestedFix, bool) {
+	ctor, ok := hwConstructorArgs[name]
+	if !ok {
+		return SuggestedFix{}, false
+	}
+	// The literal must be written with a qualified type (hw.X) so the
+	// constructor is reachable under the same qualifier.
+	sel, ok := ast.Unparen(lit.Type).(*ast.SelectorExpr)
+	if !ok {
+		return SuggestedFix{}, false
+	}
+	qual, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return SuggestedFix{}, false
+	}
+	vals := map[string]string{}
+	if len(lit.Elts) > 0 {
+		if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); keyed {
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					return SuggestedFix{}, false
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || intLiteral(kv.Value) == nil {
+					return SuggestedFix{}, false
+				}
+				vals[key.Name] = pass.srcText(kv.Value.Pos(), kv.Value.End())
+			}
+		} else {
+			if len(lit.Elts) != len(ctor.params) {
+				return SuggestedFix{}, false
+			}
+			for i, elt := range lit.Elts {
+				if intLiteral(elt) == nil {
+					return SuggestedFix{}, false
+				}
+				vals[ctor.params[i]] = pass.srcText(elt.Pos(), elt.End())
+			}
+		}
+	}
+	args := make([]string, len(ctor.params))
+	for i, p := range ctor.params {
+		v, ok := vals[p]
+		if !ok {
+			return SuggestedFix{}, false
+		}
+		args[i] = v
+	}
+	if len(vals) != len(ctor.params) {
+		return SuggestedFix{}, false
+	}
+	repl := qual.Name + "." + ctor.ctor + "(" + strings.Join(args, ", ") + ")"
+	return SuggestedFix{
+		Message: "construct through the clamping constructor " + qual.Name + "." + ctor.ctor,
+		Edits:   []TextEdit{pass.edit(lit.Pos(), lit.End(), repl)},
+	}, true
 }
 
 // checkConversion flags hw.MHz(<literal>): a frequency conjured from a

@@ -8,15 +8,19 @@ import (
 
 // Finding is the machine-readable form of a Diagnostic. Field order is
 // part of the output contract (see DESIGN.md §10.4): check, severity,
-// file, line, col, message — encoding/json emits struct fields in
-// declaration order, and TestJSONStableSchema pins it.
+// file, line, col, message, suggested_fixes — encoding/json emits
+// struct fields in declaration order, and TestJSONStableSchema pins it.
+// suggested_fixes is omitted when the finding carries no
+// machine-applicable fix, so fix-free reports are byte-identical to the
+// pre-fix schema.
 type Finding struct {
-	Check    string `json:"check"`
-	Severity string `json:"severity"`
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Message  string `json:"message"`
+	Check          string         `json:"check"`
+	Severity       string         `json:"severity"`
+	File           string         `json:"file"`
+	Line           int            `json:"line"`
+	Col            int            `json:"col"`
+	Message        string         `json:"message"`
+	SuggestedFixes []SuggestedFix `json:"suggested_fixes,omitempty"`
 }
 
 // Report is the top-level -json document.
@@ -38,10 +42,7 @@ func NewReport(root string, checks []string, diags []Diagnostic) Report {
 		Findings: make([]Finding, 0, len(diags)),
 	}
 	for _, d := range diags {
-		file := d.Pos.Filename
-		if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) {
-			file = filepath.ToSlash(rel)
-		}
+		file := relToRoot(root, d.Pos.Filename)
 		switch d.Severity {
 		case SevWarn:
 			rep.Warnings++
@@ -49,15 +50,44 @@ func NewReport(root string, checks []string, diags []Diagnostic) Report {
 			rep.Errors++
 		}
 		rep.Findings = append(rep.Findings, Finding{
-			Check:    d.Check,
-			Severity: string(d.Severity),
-			File:     file,
-			Line:     d.Pos.Line,
-			Col:      d.Pos.Column,
-			Message:  d.Message,
+			Check:          d.Check,
+			Severity:       string(d.Severity),
+			File:           file,
+			Line:           d.Pos.Line,
+			Col:            d.Pos.Column,
+			Message:        d.Message,
+			SuggestedFixes: relativizeFixes(root, d.Fixes),
 		})
 	}
 	return rep
+}
+
+// relToRoot makes file root-relative and slash-separated when it lies
+// under root, so output does not depend on the checkout location.
+func relToRoot(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+// relativizeFixes deep-copies fixes with edit paths made root-relative.
+// The in-memory fixes keep absolute paths (ApplyFixes reads the files);
+// only the serialized form is relativized.
+func relativizeFixes(root string, fixes []SuggestedFix) []SuggestedFix {
+	if len(fixes) == 0 {
+		return nil
+	}
+	out := make([]SuggestedFix, len(fixes))
+	for i, fix := range fixes {
+		out[i] = fix
+		out[i].Edits = make([]TextEdit, len(fix.Edits))
+		for j, e := range fix.Edits {
+			e.File = relToRoot(root, e.File)
+			out[i].Edits[j] = e
+		}
+	}
+	return out
 }
 
 // WriteJSON emits the report as indented JSON followed by a newline.

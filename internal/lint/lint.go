@@ -8,7 +8,8 @@
 // position-accurate diagnostics, and //lint:ignore suppression, exposed
 // through cmd/harmonia-lint.
 //
-// Six domain analyzers ship with the framework:
+// Ten domain analyzers ship with the framework. Six are
+// intraprocedural (one function body at a time):
 //
 //   - nondeterminism: wall-clock reads, unseeded math/rand, and
 //     output-reaching map iteration inside the deterministic packages
@@ -19,6 +20,20 @@
 //   - workerbudget: raw runtime.GOMAXPROCS/NumCPU widths in the workers
 //     argument of batch/sweep fan-out calls
 //
+// Four run over the module-wide call graph (callgraph.go) with
+// per-function effect summaries propagated to a fixed point, so they see
+// through any wrapper depth:
+//
+//   - detertaint: calls in deterministic packages that transitively
+//     reach wall-clock/unseeded-rand, offending path printed
+//   - ctxflow: context.Background outside main, ctx struct fields, and
+//     fan-out loops that never consult ctx
+//   - spawnjoin: goroutines with no join or cancellation edge
+//   - spanend: trace spans started but not Ended on every return path
+//
+// Analyzers may attach machine-applicable suggested fixes (fix.go);
+// cmd/harmonia-lint applies them with -fix or previews with -diff.
+//
 // See DESIGN.md §10 for each analyzer's invariant and rationale.
 package lint
 
@@ -27,6 +42,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -50,6 +66,9 @@ type Diagnostic struct {
 	Severity Severity
 	Pos      token.Position // absolute file path
 	Message  string
+	// Fixes holds machine-applicable alternatives; applying all edits of
+	// any one fix resolves the finding.
+	Fixes []SuggestedFix
 }
 
 func (d Diagnostic) String() string {
@@ -72,6 +91,16 @@ type Pass struct {
 	Pkg    *Package
 	check  string
 	report func(Diagnostic)
+
+	// Prog is the module-wide call graph, built once per Run and shared
+	// by every analyzer that declares needsProgram(); nil otherwise.
+	Prog *Program
+	// Scope is the policy scope of the running check (zero value when
+	// the policy has no entry for it).
+	Scope Scope
+	// Root is the module root directory, used to relativize paths in
+	// diagnostics.
+	Root string
 }
 
 // Reportf records a finding at pos.
@@ -181,18 +210,26 @@ func DeterministicPackages() []string {
 // home) and internal/serve (which legitimately derives per-request
 // shares from the machine width).
 func DefaultPolicy() Policy {
+	nondetExempt := []string{
+		"harmonia/internal/serve",
+		"harmonia/internal/telemetry",
+		"harmonia/internal/faults",
+		// resilience is timer-driven by design: breaker cooldowns,
+		// token-bucket refill, and journal timestamps read the
+		// clock through an injectable now() that tests pin.
+		"harmonia/internal/resilience",
+	}
 	return Policy{Scopes: map[string]Scope{
 		"nondeterminism": {
-			Only: DeterministicPackages(),
-			Exempt: []string{
-				"harmonia/internal/serve",
-				"harmonia/internal/telemetry",
-				"harmonia/internal/faults",
-				// resilience is timer-driven by design: breaker cooldowns,
-				// token-bucket refill, and journal timestamps read the
-				// clock through an injectable now() that tests pin.
-				"harmonia/internal/resilience",
-			},
+			Only:   DeterministicPackages(),
+			Exempt: nondetExempt,
+		},
+		// detertaint is nondeterminism's interprocedural companion: same
+		// scope, and the exempt packages double as taint barriers (their
+		// wall-clock/rand effects do not leak to callers).
+		"detertaint": {
+			Only:   DeterministicPackages(),
+			Exempt: nondetExempt,
 		},
 		"hwenvelope": {Exempt: []string{"harmonia/internal/hw"}},
 		"floateq":    {Exempt: []string{"harmonia/internal/floats"}},
@@ -207,7 +244,8 @@ func DefaultPolicy() Policy {
 	}}
 }
 
-// Analyzers returns the six domain analyzers in stable order.
+// Analyzers returns the ten domain analyzers in stable order: the six
+// intraprocedural checks first, then the four call-graph checks.
 func Analyzers() []Analyzer {
 	return []Analyzer{
 		&Nondeterminism{},
@@ -216,6 +254,10 @@ func Analyzers() []Analyzer {
 		NewFloatEq(),
 		&ErrDrop{},
 		&WorkerBudget{},
+		&DeterTaint{},
+		&CtxFlow{},
+		&SpawnJoin{},
+		&SpanEnd{},
 	}
 }
 
@@ -295,6 +337,33 @@ func Run(pkgs []*Package, analyzers []Analyzer, pol Policy) []Diagnostic {
 		known[a.Name()] = true
 	}
 
+	// Build the interprocedural Program once when any selected analyzer
+	// declares it needs one. The detertaint exempt packages double as
+	// taint barriers, and any direct wall-clock/rand seed carrying a
+	// //lint:ignore for nondeterminism or detertaint is a sanctioned
+	// seed that must not taint callers.
+	var prog *Program
+	root := moduleRootOf(pkgs)
+	if NeedsProgram(analyzers) {
+		clean := pol.Scopes["detertaint"].Exempt
+		if len(clean) == 0 {
+			clean = pol.Scopes["nondeterminism"].Exempt
+		}
+		sanctioned := make(map[string]bool)
+		for _, pkg := range pkgs {
+			for _, d := range directivesFor(pkg) {
+				if d.check == "nondeterminism" || d.check == "detertaint" {
+					sanctioned[fmt.Sprintf("%s:%d", d.pos.Filename, d.pos.Line)] = true
+					sanctioned[fmt.Sprintf("%s:%d", d.pos.Filename, d.pos.Line+1)] = true
+				}
+			}
+		}
+		prog = BuildProgram(pkgs, ProgramOptions{
+			CleanPackages:       clean,
+			SuppressedSeedLines: sanctioned,
+		})
+	}
+
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		dirs := directivesFor(pkg)
@@ -331,6 +400,9 @@ func Run(pkgs []*Package, analyzers []Analyzer, pol Policy) []Diagnostic {
 				Pkg:    pkg,
 				check:  a.Name(),
 				report: func(d Diagnostic) { pkgDiags = append(pkgDiags, d) },
+				Prog:   prog,
+				Scope:  pol.Scopes[a.Name()],
+				Root:   root,
 			}
 			a.Run(pass)
 		}
@@ -356,6 +428,33 @@ func Run(pkgs []*Package, analyzers []Analyzer, pol Policy) []Diagnostic {
 		return a.Check < b.Check
 	})
 	return diags
+}
+
+// NeedsProgram reports whether any of the analyzers requires the
+// module-wide call graph. Callers loading a package subset (explicit
+// directory arguments) use this to decide whether the whole module must
+// be loaded anyway — interprocedural summaries are only sound over the
+// full graph.
+func NeedsProgram(analyzers []Analyzer) bool {
+	for _, a := range analyzers {
+		if pn, ok := a.(interface{ needsProgram() bool }); ok && pn.needsProgram() {
+			return true
+		}
+	}
+	return false
+}
+
+// moduleRootOf derives the module root directory from any loaded
+// package: the package's Dir minus its path below the module.
+func moduleRootOf(pkgs []*Package) string {
+	for _, pkg := range pkgs {
+		if pkg.Dir == "" {
+			continue
+		}
+		sub := strings.TrimPrefix(pkg.Path, ModulePath)
+		return strings.TrimSuffix(filepath.ToSlash(pkg.Dir), sub)
+	}
+	return ""
 }
 
 // AllCheckNames returns the names of the shipped analyzers in stable

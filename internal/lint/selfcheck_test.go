@@ -1,12 +1,15 @@
 package lint
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestRepoIsLintClean is the regression gate behind `make lint`: the
-// whole module must pass every analyzer under the default policy with
-// zero findings — errors AND warnings, so -werror in CI can never
-// regress silently. A future PR that introduces a violation fails this
-// test even if it forgets to run the linter.
+// whole module — internal/... AND cmd/... — must pass every analyzer
+// under the default policy with zero findings — errors AND warnings, so
+// -werror in CI can never regress silently. A future PR that introduces
+// a violation fails this test even if it forgets to run the linter.
 func TestRepoIsLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short mode")
@@ -21,6 +24,19 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; module walk looks broken", len(pkgs))
+	}
+	// The cmd binaries are part of the clean surface: the interprocedural
+	// analyzers need their mains as call-graph roots, and a violation in
+	// a main is as real as one in a library. Guard against a loader
+	// regression silently dropping them.
+	cmds := 0
+	for _, pkg := range pkgs {
+		if strings.HasPrefix(pkg.Path, ModulePath+"/cmd/") {
+			cmds++
+		}
+	}
+	if cmds < 8 {
+		t.Fatalf("loaded only %d cmd/... packages; the binaries must be part of the lint surface", cmds)
 	}
 	diags := Run(pkgs, Analyzers(), DefaultPolicy())
 	for _, d := range diags {

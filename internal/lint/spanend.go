@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanEnd flags trace spans that are started but not Ended on every
+// return path. An un-Ended span exports with Ended=false and a zero end
+// time, corrupting duration math in the Chrome exporter and leaking the
+// open span into every later snapshot. Spans whose End is delegated to
+// a helper are resolved through the call graph: a call `finish(sp)`
+// counts as an End when finish (transitively) Ends its span parameter —
+// the wrapper indirection an intraprocedural scan cannot see.
+//
+// The path check is a lexical approximation, deliberately biased
+// against false positives:
+//
+//   - a deferred End (direct or inside a deferred literal) is always
+//     clean;
+//   - a span with no End anywhere after its start is reported at the
+//     start;
+//   - a return statement after the start with no End (or ending helper
+//     call) lexically between start and return is reported as an
+//     un-Ended early-return path;
+//   - spans that escape — returned, assigned to a field, or passed to
+//     a non-ending call — transfer ownership and are skipped.
+//
+// Function literals are separate frames: a span started inside a
+// closure is judged against the closure's returns, not the enclosing
+// function's.
+type SpanEnd struct{}
+
+// Name implements Analyzer.
+func (*SpanEnd) Name() string { return "spanend" }
+
+// Doc implements Analyzer.
+func (*SpanEnd) Doc() string {
+	return "require trace spans to be Ended (directly, deferred, or via an ending helper) on every return path"
+}
+
+func (*SpanEnd) needsProgram() bool { return true }
+
+// spanStartMethods are the trace.Recorder/Span methods that open spans.
+var spanStartMethods = map[string]bool{"Start": true, "StartAmbient": true, "Child": true}
+
+// Run implements Analyzer.
+func (a *SpanEnd) Run(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.checkFrame(pass, fd.Body)
+		}
+	}
+}
+
+// inspectFrame walks root without descending into nested function
+// literals (each literal is its own frame).
+func inspectFrame(root *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == ast.Node(root) {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// spanUse records every interesting event for one span variable.
+type spanUse struct {
+	obj      types.Object
+	name     string
+	startPos token.Pos
+	deferred bool        // defer sp.End() seen
+	endPos   []token.Pos // direct or helper Ends, in source order
+	escapes  bool
+}
+
+// checkFrame analyzes one function body (declaration or literal),
+// recursing into nested literals as independent frames.
+func (a *SpanEnd) checkFrame(pass *Pass, body *ast.BlockStmt) {
+	// Recurse into nested literal frames first.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && n != ast.Node(body) {
+			a.checkFrame(pass, lit.Body)
+			return false
+		}
+		return true
+	})
+
+	uses := map[types.Object]*spanUse{}
+	var order []*spanUse
+
+	// Phase 1: span starts assigned to locals, and dropped starts.
+	inspectFrame(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !a.isSpanStart(pass, call) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := pass.ObjectOf(id)
+				if obj == nil || uses[obj] != nil {
+					continue
+				}
+				u := &spanUse{obj: obj, name: id.Name, startPos: call.Pos()}
+				uses[obj] = u
+				order = append(order, u)
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && a.isSpanStart(pass, call) {
+				pass.Reportf(call.Pos(), "span started and immediately dropped; it can never be Ended — assign it and End it on every path")
+			}
+		}
+		return true
+	})
+	if len(order) == 0 {
+		return
+	}
+
+	// Phase 2: classify every use of each span variable. Nested
+	// literals ARE entered here: a closure capturing the span and
+	// Ending (or leaking) it acts on this frame's span, and a deferred
+	// literal is the standard defer-End shape.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			for _, u := range order {
+				if deferEndsSpan(pass, n, u.obj) {
+					u.deferred = true
+				}
+			}
+		case *ast.CallExpr:
+			// sp.End()
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if u := uses[pass.ObjectOf(id)]; u != nil && sel.Sel.Name == "End" {
+						u.endPos = append(u.endPos, n.Pos())
+						return true
+					}
+				}
+			}
+			// helper(sp): an ending helper counts as End; anything else
+			// is an ownership escape — except the trace API's own
+			// non-consuming entry points (SetAmbient, NewContext).
+			for argIdx, arg := range n.Args {
+				id, ok := ast.Unparen(arg).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				u := uses[pass.ObjectOf(id)]
+				if u == nil {
+					continue
+				}
+				fn := calleeFunc(pass, n)
+				switch {
+				case fn != nil && pass.Prog != nil && pass.Prog.EndsSpanParam(fn, argIdx):
+					u.endPos = append(u.endPos, n.Pos())
+				case fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == tracePkg &&
+					(fn.Name() == "SetAmbient" || fn.Name() == "NewContext"):
+					// Ambient installation and context attachment do not
+					// take ownership; the local variable still Ends it.
+				default:
+					u.escapes = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				ast.Inspect(res, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if u := uses[pass.ObjectOf(id)]; u != nil {
+							u.escapes = true
+						}
+					}
+					return true
+				})
+			}
+		case *ast.AssignStmt:
+			// Assignment through a non-ident lvalue (field, index, or
+			// deref) stores the span beyond the frame: escapes.
+			escape := false
+			for _, lhs := range n.Lhs {
+				if _, isIdent := lhs.(*ast.Ident); !isIdent {
+					escape = true
+				}
+			}
+			if escape {
+				for _, rhs := range n.Rhs {
+					ast.Inspect(rhs, func(m ast.Node) bool {
+						if id, ok := m.(*ast.Ident); ok {
+							if u := uses[pass.ObjectOf(id)]; u != nil {
+								u.escapes = true
+							}
+						}
+						return true
+					})
+				}
+			}
+		}
+		return true
+	})
+
+	// Phase 3: judge each span against this frame's returns.
+	var returns []token.Pos
+	inspectFrame(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, r.Pos())
+		}
+		return true
+	})
+
+	for _, u := range order {
+		if u.deferred || u.escapes {
+			continue
+		}
+		if len(u.endPos) == 0 {
+			pass.Reportf(u.startPos, "span %s is started but never Ended; End it on every return path or defer %s.End()", u.name, u.name)
+			continue
+		}
+		for _, ret := range returns {
+			if ret <= u.startPos {
+				continue
+			}
+			ended := false
+			for _, ep := range u.endPos {
+				if ep > u.startPos && ep < ret {
+					ended = true
+					break
+				}
+			}
+			if !ended {
+				pass.Reportf(ret, "return path leaves span %s un-Ended (started at line %d); End it before returning or defer %s.End()",
+					u.name, pass.Pkg.Fset.Position(u.startPos).Line, u.name)
+				break // one finding per span
+			}
+		}
+	}
+}
+
+// isSpanStart reports whether call opens a trace span: a method named
+// Start/StartAmbient/Child on a trace.Recorder or trace.Span returning
+// *trace.Span.
+func (a *SpanEnd) isSpanStart(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !spanStartMethods[sel.Sel.Name] {
+		return false
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != tracePkg {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	return isSpanType(sig.Results().At(0).Type())
+}
+
+// deferEndsSpan reports whether d defers an End of the span object —
+// `defer sp.End()` or `defer func() { ...; sp.End(); ... }()`.
+func deferEndsSpan(pass *Pass, d *ast.DeferStmt, obj types.Object) bool {
+	if sel, ok := ast.Unparen(d.Call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			return true
+		}
+	}
+	lit, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

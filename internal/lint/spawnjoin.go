@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpawnJoin flags goroutines with no join or cancellation edge back to
+// their spawner — the leak class the chaos soak only catches
+// dynamically, caught here at review time. A goroutine is considered
+// joined when the spawned work (the literal's body, or the called
+// function's transitive summary — this is where the call graph sees
+// what the intraprocedural view cannot) exhibits any of:
+//
+//   - a sync.WaitGroup Done/Wait (counter join),
+//   - a channel operation — send, receive, close, select, or ranging
+//     over a channel (communication join, including errgroup-style
+//     first-error channels),
+//   - a context consultation (ctx.Done/Err), the cancellation edge.
+//
+// A goroutine with none of these can outlive every structure that
+// could observe it: nothing ever learns whether it finished, and
+// nothing can stop it.
+type SpawnJoin struct{}
+
+// Name implements Analyzer.
+func (*SpawnJoin) Name() string { return "spawnjoin" }
+
+// Doc implements Analyzer.
+func (*SpawnJoin) Doc() string {
+	return "forbid goroutines with no join or cancellation edge (WaitGroup, channel, or ctx) reachable from the spawned body"
+}
+
+func (*SpawnJoin) needsProgram() bool { return true }
+
+// Run implements Analyzer.
+func (a *SpawnJoin) Run(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !a.spawnJoined(pass, gs.Call) {
+					pass.Reportf(gs.Pos(),
+						"goroutine has no join or cancellation edge — no WaitGroup, channel operation, or ctx consultation reachable from the spawned body; nothing can observe or stop it")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// joinEffects are the summary bits that constitute a join edge.
+const joinEffects = EffJoinSignal | EffConsultsCtx
+
+// spawnJoined reports whether the spawned call has a join edge.
+func (a *SpawnJoin) spawnJoined(pass *Pass, call *ast.CallExpr) bool {
+	// go func() { ... }(): inspect the literal body directly, chasing
+	// calls out of it through the graph.
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return a.bodyHasJoin(pass, lit.Body)
+	}
+	// go s.worker() / go helper(): the callee's transitive summary.
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return true // unresolved spawn target: assume joined
+	}
+	if pass.Prog != nil {
+		if node := pass.Prog.Nodes[fn]; node != nil {
+			return node.Trans&joinEffects != 0
+		}
+	}
+	// Callee outside the graph (stdlib or unanalyzed package): assume
+	// joined rather than guess.
+	return true
+}
+
+// bodyHasJoin walks a spawned body for direct join evidence and chases
+// its calls one level into the graph for transitive evidence.
+func (a *SpawnJoin) bodyHasJoin(pass *Pass, body *ast.BlockStmt) bool {
+	joined := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			joined = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				joined = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					joined = true
+				}
+			}
+		case *ast.CallExpr:
+			if a.callIsJoin(pass, n) {
+				joined = true
+			}
+		}
+		return !joined
+	})
+	return joined
+}
+
+// callIsJoin classifies one call inside a spawned body: a WaitGroup
+// Done/Wait, a ctx consultation, a channel close, or a call into a
+// function whose transitive summary joins.
+func (a *SpawnJoin) callIsJoin(pass *Pass, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" {
+		if _, isFn := pass.ObjectOf(id).(*types.Func); !isFn {
+			return true
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if t := pass.TypeOf(sel.X); t != nil {
+			path, name, named := namedFrom(t)
+			if named && path == "sync" && name == "WaitGroup" && (sel.Sel.Name == "Done" || sel.Sel.Name == "Wait") {
+				return true
+			}
+			if isContextType(t) {
+				switch sel.Sel.Name {
+				case "Done", "Err", "Deadline":
+					return true
+				}
+			}
+		}
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil || pass.Prog == nil {
+		return false
+	}
+	node := pass.Prog.Nodes[fn]
+	return node != nil && node.Trans&joinEffects != 0
+}

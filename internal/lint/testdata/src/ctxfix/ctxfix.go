@@ -1,0 +1,72 @@
+// Package ctxfix exercises the ctxflow analyzer: root contexts minted
+// in library code, contexts stashed in struct fields, and fan-out loops
+// that never consult their context.
+package ctxfix
+
+import (
+	"context"
+
+	"harmonia/internal/lint/testdata/src/ctxhelp"
+)
+
+// Holder stashes a context beyond its call. Finding.
+type Holder struct {
+	ctx context.Context
+}
+
+// Library mints its own root context. Finding.
+func Library() error {
+	ctx := context.Background()
+	return work(ctx)
+}
+
+// Run is the sanctioned delegation wrapper: a single return delegating
+// to the same-package Context variant. Clean.
+func Run() error { return RunContext(context.Background()) }
+
+// RunContext is the real entry point.
+func RunContext(ctx context.Context) error { return work(ctx) }
+
+// BadWrapper has the wrapper shape but delegates across packages — that
+// is the implementation, not a convenience alias. Finding.
+func BadWrapper() error { return ctxhelp.DoCtx(context.Background()) }
+
+// Placeholder leaves a TODO context in place. Finding.
+func Placeholder() error { return work(context.TODO()) }
+
+// Suppressed mints a root context under an in-file suppression.
+func Suppressed() error {
+	//lint:ignore ctxflow fixture: demonstrating the in-file suppression
+	ctx := context.Background()
+	return work(ctx)
+}
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// FanOutLoop spawns work each iteration — through two wrapper hops the
+// call graph resolves — and never consults ctx. Finding.
+func FanOutLoop(ctx context.Context, jobs []int) {
+	for range jobs {
+		spawnWorker()
+	}
+}
+
+func spawnWorker() { spawnInner() }
+
+func spawnInner() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// FanOutJoined spawns per-iteration work but hands ctx to a helper that
+// consults it two hops down. Clean.
+func FanOutJoined(ctx context.Context, jobs []int) {
+	for range jobs {
+		go drain(ctx)
+	}
+}
+
+func drain(ctx context.Context) { inner(ctx) }
+
+func inner(ctx context.Context) { _ = ctx.Err() }

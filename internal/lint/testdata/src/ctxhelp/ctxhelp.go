@@ -1,0 +1,10 @@
+// Package ctxhelp is the cross-package delegate of the ctxflow fixture:
+// a wrapper returning ctxhelp.DoCtx(context.Background()) is an
+// implementation rooting its own context, not a sanctioned same-package
+// convenience alias.
+package ctxhelp
+
+import "context"
+
+// DoCtx consumes a caller context.
+func DoCtx(ctx context.Context) error { return ctx.Err() }

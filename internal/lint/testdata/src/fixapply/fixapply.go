@@ -1,0 +1,40 @@
+// Package fixapply holds one of every fixable finding class. The fix
+// tests copy it into a scratch module, apply the suggested fixes, pin
+// the post-fix bytes against a golden file, and assert the fixed tree
+// re-lints clean (idempotence).
+package fixapply
+
+import (
+	"harmonia/internal/hw"
+)
+
+// Grid builds a keyed envelope literal; the fix rewrites it to the
+// clamping constructor.
+func Grid() hw.ComputeConfig {
+	return hw.ComputeConfig{CUs: 10, Freq: 500}
+}
+
+// Mem is the positional form.
+func Mem() hw.MemConfig {
+	return hw.MemConfig{825}
+}
+
+func mightFail() error { return nil }
+
+// Drop discards a module error; the fix wraps the call in an explicit
+// handling stub.
+func Drop() {
+	mightFail()
+}
+
+// Same compares floats exactly; the fix routes it through floats.Equal
+// and inserts the import.
+func Same(a, b float64) bool {
+	return a == b
+}
+
+// NonZero is the negated zero-literal form; its fix shares the import
+// insertion with Same's.
+func NonZero(v float64) bool {
+	return v != 0
+}

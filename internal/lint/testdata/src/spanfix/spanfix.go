@@ -1,0 +1,75 @@
+// Package spanfix exercises the spanend analyzer: spans that are never
+// Ended or leak on early returns, against the clean shapes (deferred
+// End, delegation to an ending helper resolved through the call graph,
+// ownership escapes).
+package spanfix
+
+import (
+	"errors"
+
+	"harmonia/internal/trace"
+)
+
+// Never starts a span and forgets it. Finding at the start.
+func Never(rec *trace.Recorder) {
+	sp := rec.Start(nil, "never")
+	_ = sp
+}
+
+// Dropped discards the span expression outright. Finding.
+func Dropped(rec *trace.Recorder) {
+	rec.Start(nil, "dropped")
+}
+
+// Early Ends the span on the happy path but leaks it on the error
+// return. Finding at the early return.
+func Early(rec *trace.Recorder, fail bool) error {
+	sp := rec.Start(nil, "early")
+	if fail {
+		return errors.New("fixture failure")
+	}
+	sp.End()
+	return nil
+}
+
+// Deferred is the canonical clean shape.
+func Deferred(rec *trace.Recorder) {
+	sp := rec.Start(nil, "deferred")
+	defer sp.End()
+}
+
+// Delegated hands its span to a helper that Ends it two hops down — the
+// wrapper indirection only the call graph resolves. Clean.
+func Delegated(rec *trace.Recorder) {
+	sp := rec.Start(nil, "delegated")
+	finish(sp)
+}
+
+func finish(sp *trace.Span) { closeSpan(sp) }
+
+func closeSpan(sp *trace.Span) { sp.End() }
+
+// Opened transfers ownership to the caller. Clean here.
+func Opened(rec *trace.Recorder) *trace.Span {
+	sp := rec.Start(nil, "opened")
+	return sp
+}
+
+// InClosure starts and Ends the span inside a literal frame; the
+// literal's (absent) returns govern, not the enclosing function's.
+// Clean.
+func InClosure(rec *trace.Recorder) func() {
+	return func() {
+		sp := rec.Start(nil, "closure")
+		child := sp.Child("child")
+		child.End()
+		sp.End()
+	}
+}
+
+// Sanctioned leaves a span open under an in-file suppression.
+func Sanctioned(rec *trace.Recorder) {
+	//lint:ignore spanend fixture: span intentionally left open for a snapshot assertion
+	sp := rec.Start(nil, "open")
+	_ = sp
+}

@@ -1,0 +1,60 @@
+// Package spawnfix exercises the spawnjoin analyzer: fire-and-forget
+// goroutines with no join edge, against the joined shapes (WaitGroup
+// through helper hops, channel sends, context consultation).
+package spawnfix
+
+import (
+	"context"
+	"sync"
+)
+
+// Leak spawns a named callee with no join signal anywhere in its
+// transitive summary. Finding.
+func Leak() {
+	go tick()
+}
+
+func tick() {
+	for i := 0; i < 1000; i++ {
+		_ = i
+	}
+}
+
+// LeakLit spawns a literal with no join evidence. Finding.
+func LeakLit() {
+	go func() { _ = add(1, 2) }()
+}
+
+func add(a, b int) int { return a + b }
+
+// Spawn is joined: the WaitGroup Done is two helper hops away, visible
+// only through the call graph. Clean.
+func Spawn(wg *sync.WaitGroup) {
+	go worker(wg)
+}
+
+func worker(wg *sync.WaitGroup) { signal(wg) }
+
+func signal(wg *sync.WaitGroup) { wg.Done() }
+
+// SpawnChan is joined by a channel send in the literal body. Clean.
+func SpawnChan() chan int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	return ch
+}
+
+// SpawnCtx is joined by the cancellation edge: the worker blocks on
+// ctx.Done. Clean.
+func SpawnCtx(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+// Sanctioned is a process-lifetime goroutine under an in-file
+// suppression.
+func Sanctioned() {
+	//lint:ignore spawnjoin fixture: process-lifetime goroutine by design
+	go tick()
+}

@@ -287,8 +287,14 @@ func BuildConfigTrainingSet(m gpusim.Runner, kernels []*workloads.Kernel) []Trai
 // GOMAXPROCS, 1 forces serial execution.
 func BuildConfigTrainingSetN(m gpusim.Runner, kernels []*workloads.Kernel, workers int) []TrainingPoint {
 	space := hw.ConfigSpace()
+	// Training-set construction is deliberately uncancelable: it is the
+	// one-time memoized sweep behind every predictor, bit-identical by
+	// construction, and its callers (lazy sync.Once paths included) gate
+	// cancellation at the run level instead.
+	//lint:ignore ctxflow the training sweep is a one-time memoized computation with no caller ctx to thread
+	ctx := context.Background()
 	//lint:ignore errdrop kernelConfigRows never errors and the background context is never canceled
-	perKernel, _ := batch.Map(context.Background(), workers, kernels,
+	perKernel, _ := batch.Map(ctx, workers, kernels,
 		func(_ context.Context, _ int, k *workloads.Kernel) ([]TrainingPoint, error) {
 			return kernelConfigRows(m, k, space), nil
 		})

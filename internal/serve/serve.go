@@ -71,6 +71,7 @@ type Options struct {
 	// canceling it cancels in-flight work at the next kernel boundary.
 	// Nil means context.Background(). Shutdown and Close cancel the
 	// server's derived context regardless.
+	//lint:ignore ctxflow BaseContext is the http.Server-style lifetime option, the sanctioned way to hand the server its root
 	BaseContext context.Context
 	// RequestTimeout bounds each run from admission to completion; runs
 	// over it are canceled at the next kernel boundary and fail. Zero
@@ -137,6 +138,7 @@ type Server struct {
 	// jobs channel is buffered to queueDepth, an admitted enqueue never
 	// blocks.
 	pending atomic.Int64
+	//lint:ignore ctxflow baseCtx is the server-lifetime context Shutdown/Close cancel; it scopes the server, not a call
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
@@ -180,6 +182,7 @@ type Server struct {
 // marks the job that holds the circuit breaker's half-open probe slot;
 // its outcome (or cancellation) must resolve the slot.
 type job struct {
+	//lint:ignore ctxflow a queued job carries its admission-time run context to the worker that executes it — the documented request-scoped exception
 	ctx    context.Context
 	cancel context.CancelFunc
 	run    *Run
@@ -231,6 +234,7 @@ func New(sys *harmonia.System, opts Options) *Server {
 	}
 	base := opts.BaseContext
 	if base == nil {
+		//lint:ignore ctxflow the documented nil-BaseContext default; Shutdown/Close cancel the derived context regardless
 		base = context.Background()
 	}
 	var breaker *resilience.Breaker
@@ -325,6 +329,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Close stops the server immediately: Shutdown with an already-expired
 // deadline, so in-flight runs are canceled at once.
 func (s *Server) Close() {
+	//lint:ignore ctxflow Close constructs an already-canceled context on purpose: Shutdown with an expired deadline
 	done, cancel := context.WithCancel(context.Background())
 	cancel()
 	//lint:ignore errdrop forced shutdown always reports context.Canceled by construction

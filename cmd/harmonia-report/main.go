@@ -20,7 +20,8 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "regenerate a single artifact (fig1, table1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table2, table3, results, fig14, fig15, fig16, fig17, fig18, computeonly, accuracy, memvolt, objective, tdp, knobs, stacked)")
+	only := flag.String("only", "", "regenerate a single artifact (fig1, table1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table2, table3, results, fig14, fig15, fig16, fig17, fig18, computeonly, accuracy, memvolt, objective, tdp, knobs, stacked, timeline)")
+	tlApp := flag.String("timeline-app", "SRAD", "application the timeline artifact flight-records")
 	flag.Parse()
 
 	// Interrupting the report cancels in-flight fan-out at the next
@@ -184,9 +185,16 @@ func main() {
 		}
 		fmt.Println(experiments.KnobString(rows))
 	}
+	if want("timeline") {
+		sum, err := experiments.TimelineStudy(ctx, e, *tlApp)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(sum)
+	}
 
 	if *only != "" && !strings.Contains(
-		"fig1 table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 table2 table3 results fig14 fig15 fig16 fig17 fig18 computeonly accuracy memvolt objective tdp knobs stacked",
+		"fig1 table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 table2 table3 results fig14 fig15 fig16 fig17 fig18 computeonly accuracy memvolt objective tdp knobs stacked timeline",
 		*only) {
 		fmt.Fprintf(os.Stderr, "harmonia-report: unknown artifact %q\n", *only)
 		os.Exit(1)

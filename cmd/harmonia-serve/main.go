@@ -21,6 +21,12 @@
 //	GET  /v1/runs/{id}/trace the 1 kHz power trace (CSV; ?format=json)
 //	GET  /v1/runs/{id}/spans the run's span tree (?format=chrome for
 //	                         Chrome trace-event JSON; open in Perfetto)
+//	GET  /v1/runs/{id}/timeline the run's power timeline and decision
+//	                         log (JSON; ?format=csv, ?res=seconds)
+//	GET  /v1/runs/{id}/live  Server-Sent Events stream of the run's
+//	                         kernel-boundary decisions
+//	GET  /v1/stats/quality   per-policy decision-quality aggregate
+//	                         (oracle gap, bin confusion, churn)
 //	GET  /v1/apps            the 14-application evaluation suite
 //	GET  /v1/configs         the legal hardware configuration space
 //	GET  /healthz            liveness (200 even while draining)
@@ -76,6 +82,7 @@ func main() {
 		brkCooldown = flag.Duration("breaker-cooldown", 10*time.Second, "initial breaker fail-fast window, doubling per failed probe")
 		httpTimeout = flag.Duration("http-timeout", time.Minute, "HTTP read/write/idle timeouts for slow-client hardening (0 = none)")
 		debugAddr   = flag.String("debug-addr", "", "operator debug listener for net/http/pprof and expvar, e.g. localhost:8793 (empty = disabled; keep it off the service port)")
+		qualitySamp = flag.Int("quality-samples", 8, "boundaries re-scored against the oracle per finished run for /v1/stats/quality (0 = disable quality analysis)")
 	)
 	flag.Parse()
 
@@ -112,19 +119,20 @@ func main() {
 	}
 
 	srv := serve.New(sys, serve.Options{
-		Workers:          *workers,
-		QueueDepth:       *queueDepth,
-		RunTTL:           *runTTL,
-		MaxRuns:          *maxRuns,
-		Telemetry:        reg,
-		Logger:           logger,
-		RequestTimeout:   *reqTimeout,
-		RatePerSec:       *rate,
-		RateBurst:        *burst,
-		BreakerThreshold: *brkThresh,
-		BreakerCooldown:  *brkCooldown,
-		Journal:          journal,
-		Replay:           replay,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		RunTTL:            *runTTL,
+		MaxRuns:           *maxRuns,
+		Telemetry:         reg,
+		Logger:            logger,
+		RequestTimeout:    *reqTimeout,
+		RatePerSec:        *rate,
+		RateBurst:         *burst,
+		BreakerThreshold:  *brkThresh,
+		BreakerCooldown:   *brkCooldown,
+		Journal:           journal,
+		Replay:            replay,
+		QualityMaxSamples: *qualitySamp,
 	})
 
 	// Full slow-client hardening, not just header reads: a client that

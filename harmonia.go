@@ -45,10 +45,12 @@ import (
 	"harmonia/internal/metrics"
 	"harmonia/internal/oracle"
 	"harmonia/internal/policy"
+	"harmonia/internal/quality"
 	"harmonia/internal/sensitivity"
 	"harmonia/internal/session"
 	"harmonia/internal/simcache"
 	"harmonia/internal/telemetry"
+	"harmonia/internal/timeline"
 	"harmonia/internal/trace"
 	"harmonia/internal/workloads"
 
@@ -418,8 +420,9 @@ func FaultProfile(seed int64, intensity float64) FaultConfig {
 type RunOption func(*runSettings)
 
 type runSettings struct {
-	faults *faults.Config
-	tracer *trace.Recorder
+	faults   *faults.Config
+	tracer   *trace.Recorder
+	timeline *timeline.Recorder
 }
 
 // RunWithFaults executes this run under a fresh, seed-deterministic
@@ -458,6 +461,53 @@ type (
 // byte-identical span trees.
 func NewTraceRecorder(seed uint64) *TraceRecorder { return trace.New(seed) }
 
+// RunWithTimeline flight-records this run onto rec: the DAQ power
+// stream folded into bounded deterministic buckets (Eq. 4 GPU/Mem/Other
+// decomposition), one decision record per kernel boundary (counters,
+// sensitivity bins, configuration, action source), and hardware state
+// transitions. Like tracing, recording is pure observation — the
+// recorded run's Report is bit-identical to an unrecorded one, and the
+// recorder has no clock or seed, so same-seed runs produce
+// byte-identical timeline snapshots.
+func RunWithTimeline(rec *TimelineRecorder) RunOption {
+	return func(rs *runSettings) { rs.timeline = rec }
+}
+
+// TimelineRecorder is a run flight recorder (see RunWithTimeline);
+// TimelineSnapshot is its exported deep copy, serializable as JSON
+// (WriteJSON) or a power-timeline CSV (WriteCSV) and summarizable
+// (Summary) into a per-kernel energy breakdown.
+type (
+	TimelineRecorder = timeline.Recorder
+	TimelineSnapshot = timeline.Snapshot
+	// TimelineSummary is the per-kernel energy breakdown and action
+	// census digest of a timeline.
+	TimelineSummary = timeline.Summary
+
+	// QualityEngine computes decision-quality metrics (oracle gap, bin
+	// confusion, FG convergence/dither, config churn) from a timeline;
+	// QualityResult is one run's analysis.
+	QualityEngine = quality.Engine
+	QualityResult = quality.Result
+)
+
+// NewTimelineRecorder returns an empty run flight recorder with the
+// default bounds (1 ms power buckets, doubling past 8192; 16384
+// decision records).
+func NewTimelineRecorder() *TimelineRecorder { return timeline.New() }
+
+// QualityEngine returns a decision-quality analyzer sharing this
+// system's simulator (including the WithSimCache memo, when installed —
+// strongly recommended: every sampled boundary costs one exhaustive
+// oracle sweep) and power model. maxSamples caps oracle-gap sampling
+// per run (0 = the default 8, negative disables); workers bounds each
+// sweep's parallelism (0 = GOMAXPROCS).
+func (s *System) QualityEngine(maxSamples, workers int) *QualityEngine {
+	return quality.NewEngine(quality.Options{
+		Sim: s.runner(), Power: s.Power, MaxSamples: maxSamples, Workers: workers,
+	})
+}
+
 // RunContext executes the application under the policy and returns the
 // report. Cancellation is honoured at every kernel-invocation boundary:
 // a canceled context stops the run before the next kernel launches and
@@ -470,7 +520,10 @@ func (s *System) RunContext(ctx context.Context, app *Application, p Policy, opt
 	for _, opt := range opts {
 		opt(&rs)
 	}
-	sess := &session.Session{Sim: s.runner(), Power: s.Power, Policy: p, Telemetry: s.telemetry, Tracer: rs.tracer}
+	sess := &session.Session{
+		Sim: s.runner(), Power: s.Power, Policy: p,
+		Telemetry: s.telemetry, Tracer: rs.tracer, Timeline: rs.timeline,
+	}
 	if rs.faults != nil && rs.faults.Enabled() {
 		sess.Faults = faults.New(*rs.faults)
 		// Fault-injected runs bypass the simulation memo: the injected

@@ -36,6 +36,7 @@ import (
 	"harmonia/internal/gpusim"
 	"harmonia/internal/hw"
 	"harmonia/internal/sensitivity"
+	"harmonia/internal/timeline"
 	"harmonia/internal/trace"
 )
 
@@ -456,6 +457,25 @@ func (c *Controller) Decide(kernel string, _ int) hw.Config {
 // the hardening layer's reject/retry/degrade outcomes. The span is pure
 // observation; the controller's decisions are identical without it.
 func (c *Controller) AttachTracer(rec *trace.Recorder) { c.tracer = rec }
+
+// TimelineDecision implements timeline.Annotator: queried by the
+// session right after Observe, it classifies the boundary just
+// processed — the action taken (hold/cg/fg/revert/freeze/...), the
+// sensitivity bins in effect, and the machine-utilization proxy that
+// drove the decision. Pure observation: it only reads state Observe
+// already produced.
+func (c *Controller) TimelineDecision(kernel string, _ int) (timeline.Detail, bool) {
+	st, ok := c.kernels[kernel]
+	if !ok {
+		return timeline.Detail{}, false
+	}
+	return timeline.Detail{
+		Source:   st.lastKind.String(),
+		Bins:     st.bins,
+		HaveBins: st.haveBins,
+		Proxy:    st.proxy,
+	}, true
+}
 
 // Observe implements policy.Policy: it opens the decision span when a
 // tracer is attached, then runs one step of Algorithm 1 via observe.

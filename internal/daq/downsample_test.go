@@ -1,0 +1,86 @@
+package daq_test
+
+// Cross-package test: DAQ acquisition dropouts must not shift the
+// flight recorder's bucket boundaries. Buckets are indexed from each
+// sample's absolute timestamp (floor(TimeS/res)), so a lost sample
+// leaves its bucket thinner — or empty — but never slides later
+// samples into earlier buckets the way a count-based scheme would.
+
+import (
+	"testing"
+
+	"harmonia/internal/daq"
+	"harmonia/internal/power"
+	"harmonia/internal/timeline"
+)
+
+// trace drives r through a fixed three-phase power profile and returns
+// its recorded samples.
+func trace(r *daq.Recorder) []daq.Sample {
+	r.Observe(0.010, power.Rails{GPU: 100, Mem: 40, Other: 10})
+	r.Observe(0.005, power.Rails{GPU: 60, Mem: 80, Other: 10})
+	r.Observe(0.010, power.Rails{GPU: 120, Mem: 30, Other: 10})
+	return r.Samples()
+}
+
+func TestDropsDoNotShiftTimelineBuckets(t *testing.T) {
+	clean := daq.New(daq.DefaultRateHz)
+	cleanSamples := trace(clean)
+
+	lossy := daq.New(daq.DefaultRateHz)
+	n := 0
+	lossy.Drop = func() bool { n++; return n%3 == 0 } // lose every third sample
+	lossySamples := trace(lossy)
+
+	if lossy.Dropped() == 0 {
+		t.Fatal("drop hook never fired")
+	}
+	if len(lossySamples)+lossy.Dropped() != len(cleanSamples) {
+		t.Fatalf("lossy kept %d + dropped %d, clean kept %d",
+			len(lossySamples), lossy.Dropped(), len(cleanSamples))
+	}
+	// Surviving samples carry their original timestamps: the dropout
+	// removes entries, it does not re-time the rest.
+	j := 0
+	for _, s := range lossySamples {
+		for j < len(cleanSamples) && cleanSamples[j].TimeS != s.TimeS {
+			j++
+		}
+		if j == len(cleanSamples) {
+			t.Fatalf("lossy sample at t=%v not in the clean stream", s.TimeS)
+		}
+	}
+
+	// Bucket the two streams at a coarser resolution. Every lossy
+	// bucket must start at the same time as the clean bucket with the
+	// same index, and hold a subset of its samples.
+	const res = 0.004
+	bucket := func(samples []daq.Sample) *timeline.Snapshot {
+		rec := timeline.New(timeline.WithResolution(res))
+		rec.StartRun("app", "pol")
+		rec.ObserveSamples(samples)
+		return rec.Snapshot()
+	}
+	cb, lb := bucket(cleanSamples), bucket(lossySamples)
+	if len(lb.Power) > len(cb.Power) {
+		t.Fatalf("lossy stream has %d buckets, clean %d", len(lb.Power), len(cb.Power))
+	}
+	droppedFromBuckets := 0
+	for i, l := range lb.Power {
+		c := cb.Power[i]
+		if l.TimeS != c.TimeS {
+			t.Fatalf("bucket %d starts at %v lossy vs %v clean — drops shifted boundaries", i, l.TimeS, c.TimeS)
+		}
+		if l.Samples > c.Samples {
+			t.Fatalf("bucket %d has %d lossy samples but only %d clean", i, l.Samples, c.Samples)
+		}
+		droppedFromBuckets += c.Samples - l.Samples
+	}
+	// Any clean buckets past the lossy tail account for the rest.
+	for _, c := range cb.Power[len(lb.Power):] {
+		droppedFromBuckets += c.Samples
+	}
+	if droppedFromBuckets != lossy.Dropped() {
+		t.Fatalf("buckets lost %d samples, recorder dropped %d", droppedFromBuckets, lossy.Dropped())
+	}
+}

@@ -197,6 +197,11 @@ func DeterministicPackages() []string {
 		// — the injectable clock's wall-time default — carries inline
 		// ignore directives rather than a package-wide exemption.
 		"harmonia/internal/trace",
+		// timeline promises byte-identical flight recordings for
+		// same-seed runs (it has no clock at all), and quality's
+		// analyses feed telemetry that must not wobble across restarts.
+		"harmonia/internal/timeline",
+		"harmonia/internal/quality",
 	}
 }
 

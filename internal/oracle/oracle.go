@@ -14,6 +14,7 @@ import (
 	"harmonia/internal/power"
 	"harmonia/internal/simcache"
 	"harmonia/internal/sweep"
+	"harmonia/internal/timeline"
 	"harmonia/internal/trace"
 	"harmonia/internal/workloads"
 )
@@ -73,6 +74,11 @@ type Oracle struct {
 	mu     sync.Mutex
 	cache  map[cacheKey]hw.Config
 	tracer *trace.Recorder
+	// sources remembers, per invocation, how the answer was produced
+	// (oracle-cache / oracle-memo / oracle-sweep), for the timeline's
+	// decision records. Allocated only once a timeline recorder is
+	// attached, keeping the unrecorded Decide path allocation-free.
+	sources map[cacheKey]string
 }
 
 type cacheKey struct {
@@ -141,6 +147,44 @@ func (o *Oracle) AttachTracer(rec *trace.Recorder) {
 	o.mu.Unlock()
 }
 
+// AttachTimeline implements timeline.Attachable: once attached, Decide
+// remembers each invocation's answer source so TimelineDecision can
+// report it. Pure observation — decisions are identical either way.
+func (o *Oracle) AttachTimeline(*timeline.Recorder) {
+	o.mu.Lock()
+	if o.sources == nil {
+		o.sources = make(map[cacheKey]string)
+	}
+	o.mu.Unlock()
+}
+
+// TimelineDecision implements timeline.Annotator, classifying how the
+// invocation's answer was produced. It reports nothing until a
+// timeline recorder is attached.
+func (o *Oracle) TimelineDecision(kernel string, iter int) (timeline.Detail, bool) {
+	o.mu.Lock()
+	src, ok := o.sources[cacheKey{kernel, iter}]
+	o.mu.Unlock()
+	if !ok {
+		return timeline.Detail{}, false
+	}
+	return timeline.Detail{Source: src}, true
+}
+
+// noteSource records the answer source for one invocation when a
+// timeline recorder is attached (no-op otherwise). Sources are sticky:
+// later decision-cache hits do not overwrite how the answer was first
+// computed.
+func (o *Oracle) noteSource(key cacheKey, src string) {
+	o.mu.Lock()
+	if o.sources != nil {
+		if _, ok := o.sources[key]; !ok {
+			o.sources[key] = src
+		}
+	}
+	o.mu.Unlock()
+}
+
 // Decide implements policy.Policy: the ED²-minimal configuration for this
 // exact kernel invocation, found by exhaustive profiling.
 func (o *Oracle) Decide(kernel string, iter int) hw.Config {
@@ -148,6 +192,7 @@ func (o *Oracle) Decide(kernel string, iter int) hw.Config {
 	o.mu.Lock()
 	cfg, ok := o.cache[key]
 	tracer := o.tracer
+	recordSources := o.sources != nil
 	o.mu.Unlock()
 	// sp != nil guards below keep the untraced path free of the
 	// allocation the Config.String() arguments would otherwise cost.
@@ -159,6 +204,9 @@ func (o *Oracle) Decide(kernel string, iter int) hw.Config {
 	if ok {
 		if sp != nil {
 			sp.Attr("source", "decision-cache").Attr("config", cfg.String())
+		}
+		if recordSources {
+			o.noteSource(key, "oracle-cache")
 		}
 		return cfg
 	}
@@ -180,6 +228,9 @@ func (o *Oracle) Decide(kernel string, iter int) hw.Config {
 			if sp != nil {
 				sp.Attr("source", "memo").Attr("config", cfg.String())
 			}
+			if recordSources {
+				o.noteSource(key, "oracle-memo")
+			}
 			return cfg
 		}
 	}
@@ -200,6 +251,9 @@ func (o *Oracle) Decide(kernel string, iter int) hw.Config {
 	o.mu.Unlock()
 	if sp != nil {
 		sp.Attr("source", "sweep").Attr("config", best.String())
+	}
+	if recordSources {
+		o.noteSource(key, "oracle-sweep")
 	}
 	return best
 }

@@ -1,0 +1,149 @@
+package quality
+
+import (
+	"sort"
+	"sync"
+
+	"harmonia/internal/timeline"
+)
+
+// Aggregator accumulates per-run quality results into per-policy
+// statistics, the backing store of /v1/stats/quality. Safe for
+// concurrent use.
+type Aggregator struct {
+	mu       sync.Mutex
+	runs     int
+	policies map[string]*policyAgg
+}
+
+type policyAgg struct {
+	runs, boundaries, transitions int
+	gapRuns                       int
+	actualED2, oracleED2          float64
+	gapSum                        float64
+	checks, misbinned             int
+	maxDither                     int
+	converged                     int
+	actions                       map[string]int
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{policies: make(map[string]*policyAgg)}
+}
+
+// Add folds one run's analysis into the statistics. Nil-safe on both
+// sides.
+func (a *Aggregator) Add(r *Result) {
+	if a == nil || r == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.runs++
+	p := a.policies[r.Policy]
+	if p == nil {
+		p = &policyAgg{actions: make(map[string]int)}
+		a.policies[r.Policy] = p
+	}
+	p.runs++
+	p.boundaries += r.Boundaries
+	p.transitions += r.Churn.Transitions
+	if r.OracleGap.Sampled > 0 {
+		p.gapRuns++
+		p.actualED2 += r.OracleGap.ActualED2
+		p.oracleED2 += r.OracleGap.OracleED2
+		p.gapSum += r.OracleGap.Gap
+	}
+	p.checks += r.Confusion.Checks
+	p.misbinned += r.Confusion.Misbinned
+	if r.FG.MaxDither > p.maxDither {
+		p.maxDither = r.FG.MaxDither
+	}
+	if r.FG.Converged {
+		p.converged++
+	}
+	for _, ac := range r.FG.Actions {
+		p.actions[ac.Source] += ac.N
+	}
+}
+
+// PolicyStats is one policy's aggregated decision quality.
+type PolicyStats struct {
+	Policy      string `json:"policy"`
+	Runs        int    `json:"runs"`
+	Boundaries  int    `json:"boundaries"`
+	Transitions int    `json:"transitions"`
+	// OracleGapMean averages the per-run gaps; OracleGapPooled pools
+	// the sampled ED² sums across runs before taking the ratio. Both
+	// cover only runs where gap sampling ran.
+	GapRuns         int     `json:"gap_runs"`
+	OracleGapMean   float64 `json:"oracle_gap_mean"`
+	OracleGapPooled float64 `json:"oracle_gap_pooled"`
+	BinChecks       int     `json:"bin_checks"`
+	Misbinned       int     `json:"misbinned"`
+	MisbinRate      float64 `json:"misbin_rate"`
+	ChurnRate       float64 `json:"churn_rate"`
+	MaxDither       int     `json:"max_dither"`
+	ConvergedRuns   int     `json:"converged_runs"`
+	// Actions is the pooled action census, sorted by source.
+	Actions []timeline.ActionCount `json:"actions,omitempty"`
+}
+
+// Stats is the aggregator's deterministic snapshot: policies sorted by
+// name, action censuses sorted by source.
+type Stats struct {
+	Runs     int           `json:"runs_analyzed"`
+	Policies []PolicyStats `json:"policies"`
+}
+
+// Snapshot returns the current statistics.
+func (a *Aggregator) Snapshot() Stats {
+	if a == nil {
+		return Stats{Policies: []PolicyStats{}}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := Stats{Runs: a.runs, Policies: make([]PolicyStats, 0, len(a.policies))}
+	names := make([]string, 0, len(a.policies))
+	for name := range a.policies {
+		names = append(names, name) //lint:ignore nondeterminism keys are sorted before use
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := a.policies[name]
+		ps := PolicyStats{
+			Policy:        name,
+			Runs:          p.runs,
+			Boundaries:    p.boundaries,
+			Transitions:   p.transitions,
+			GapRuns:       p.gapRuns,
+			BinChecks:     p.checks,
+			Misbinned:     p.misbinned,
+			MaxDither:     p.maxDither,
+			ConvergedRuns: p.converged,
+		}
+		if p.gapRuns > 0 {
+			ps.OracleGapMean = p.gapSum / float64(p.gapRuns)
+		}
+		if p.oracleED2 > 0 {
+			ps.OracleGapPooled = p.actualED2/p.oracleED2 - 1
+		}
+		if p.checks > 0 {
+			ps.MisbinRate = float64(p.misbinned) / float64(p.checks)
+		}
+		if p.boundaries > 0 {
+			ps.ChurnRate = float64(p.transitions) / float64(p.boundaries)
+		}
+		srcs := make([]string, 0, len(p.actions))
+		for s := range p.actions {
+			srcs = append(srcs, s) //lint:ignore nondeterminism keys are sorted before use
+		}
+		sort.Strings(srcs)
+		for _, s := range srcs {
+			ps.Actions = append(ps.Actions, timeline.ActionCount{Source: s, N: p.actions[s]})
+		}
+		out.Policies = append(out.Policies, ps)
+	}
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"harmonia"
+	"harmonia/internal/timeline"
 )
 
 // Batch aggregates one POST /v1/batch submission: the full app × policy
@@ -382,6 +383,7 @@ func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
 		for i, c := range cells {
 			runs[i] = s.reg.create(c.app.Name, c.pol.Name())
 			runs[i].setTracer(s.newRunTracer(r, runs[i]))
+			runs[i].setTimeline(timeline.New())
 		}
 		s.retained.Set(float64(s.reg.size()))
 		b = s.batches.create(req.Apps, req.Policies, runs)
@@ -400,7 +402,8 @@ func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
 			s.journalSubmit(runs[i].ID, c.app.Name, &rr, b.ID)
 			// Full-slice append: each cell must get its own RunWithTrace
 			// without cells sharing (and clobbering) one backing array.
-			cellOpts := append(opts[:len(opts):len(opts)], harmonia.RunWithTrace(runs[i].Tracer()))
+			cellOpts := append(opts[:len(opts):len(opts)],
+				harmonia.RunWithTrace(runs[i].Tracer()), harmonia.RunWithTimeline(runs[i].Timeline()))
 			j := s.newJob(jobCtx, runs[i], c.app, c.pol, cellOpts)
 			// The matrix shares one admission; its first cell carries the
 			// half-open probe slot if this submission was granted it.

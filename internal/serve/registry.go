@@ -10,6 +10,7 @@ import (
 
 	"harmonia/internal/export"
 	"harmonia/internal/session"
+	"harmonia/internal/timeline"
 	"harmonia/internal/trace"
 )
 
@@ -67,6 +68,10 @@ type Run struct {
 	// for journal-restored records, whose execution predates this
 	// process.
 	tracer *trace.Recorder
+	// timeline flight-records the run (GET /v1/runs/{id}/timeline and
+	// the /live SSE stream). Nil for journal-restored terminal records;
+	// journal-replayed re-executions get a fresh recorder.
+	timeline *timeline.Recorder
 
 	done chan struct{}
 }
@@ -84,6 +89,22 @@ func (r *Run) Tracer() *trace.Recorder {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.tracer
+}
+
+// setTimeline installs the run's flight recorder; called between create
+// and enqueue, before any worker touches the record.
+func (r *Run) setTimeline(rec *timeline.Recorder) {
+	r.mu.Lock()
+	r.timeline = rec
+	r.mu.Unlock()
+}
+
+// Timeline returns the run's flight recorder, or nil for restored
+// terminal records.
+func (r *Run) Timeline() *timeline.Recorder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.timeline
 }
 
 // headline is the ED²/time/energy triple a journal Done record

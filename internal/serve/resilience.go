@@ -13,6 +13,7 @@ import (
 
 	"harmonia"
 	"harmonia/internal/resilience"
+	"harmonia/internal/timeline"
 )
 
 // journalAppend writes one record to the journal, if any. Append
@@ -172,5 +173,11 @@ func (s *Server) rebuildJob(rs *resilience.RunState, run *Run) (*job, error) {
 	if rs.FaultIntensity > 0 {
 		opts = append(opts, harmonia.RunWithFaults(harmonia.FaultProfile(rs.FaultSeed, rs.FaultIntensity)))
 	}
+	// A replayed re-execution records a fresh timeline: the flight
+	// recorder is a pure function of the run's inputs, so the replay's
+	// timeline is byte-identical to the one the crashed process lost.
+	tl := timeline.New()
+	run.setTimeline(tl)
+	opts = append(opts, harmonia.RunWithTimeline(tl))
 	return s.newJob(s.baseCtx, run, app, pol, opts), nil
 }

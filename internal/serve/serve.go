@@ -30,9 +30,11 @@ import (
 	"harmonia"
 	"harmonia/internal/export"
 	"harmonia/internal/floats"
+	"harmonia/internal/quality"
 	"harmonia/internal/resilience"
 	"harmonia/internal/session"
 	"harmonia/internal/telemetry"
+	"harmonia/internal/timeline"
 	"harmonia/internal/trace"
 )
 
@@ -98,6 +100,14 @@ type Options struct {
 	// restore before serving.
 	Journal *resilience.Journal
 	Replay  *resilience.State
+	// QualityMaxSamples enables post-run decision-quality analysis
+	// (GET /v1/stats/quality and the harmonia_quality_* telemetry):
+	// after each successful run, its timeline is scored against the
+	// exhaustive oracle at up to this many sampled kernel boundaries.
+	// Each sample costs one oracle sweep, so enable it on systems built
+	// with harmonia.WithSimCache. Zero disables the analysis (timelines
+	// are still recorded and served).
+	QualityMaxSamples int
 
 	// runFn overrides backend execution; in-package chaos tests inject
 	// panicking or hanging backends here. Nil means sys.RunContext. Set
@@ -175,6 +185,23 @@ type Server struct {
 	drainingGauge   *telemetry.Gauge
 	journalRecords  *telemetry.Counter
 	journalReplayed *telemetry.CounterVec
+
+	timelineEvents  *telemetry.Counter
+	timelineDropped *telemetry.Counter
+	liveStreams     *telemetry.Gauge
+	liveEvents      *telemetry.Counter
+	oracleGapHist   *telemetry.HistogramVec
+	misbinTotal     *telemetry.CounterVec
+	binChecksTotal  *telemetry.CounterVec
+	churnHist       *telemetry.HistogramVec
+	ditherHist      *telemetry.HistogramVec
+	qualActions     *telemetry.CounterVec
+
+	// qualityEngine scores finished runs against the oracle when
+	// Options.QualityMaxSamples > 0; qualityAgg accumulates the
+	// per-policy statistics /v1/stats/quality serves.
+	qualityEngine *harmonia.QualityEngine
+	qualityAgg    *quality.Aggregator
 }
 
 // job is one queued evaluation. cancel, when non-nil, releases the
@@ -295,6 +322,33 @@ func New(sys *harmonia.System, opts Options) *Server {
 			"Records appended to the write-ahead journal this process."),
 		journalReplayed: tel.CounterVec("harmonia_serve_journal_replayed_total",
 			"Journal runs handled at startup, by outcome.", "outcome"),
+		timelineEvents: tel.Counter("harmonia_timeline_events_total",
+			"Kernel-boundary decision records flight-recorded across finished runs."),
+		timelineDropped: tel.Counter("harmonia_timeline_dropped_total",
+			"Decision records dropped past the flight recorder's event cap."),
+		liveStreams: tel.Gauge("harmonia_serve_live_streams",
+			"Open SSE subscriptions on /v1/runs/{id}/live."),
+		liveEvents: tel.Counter("harmonia_serve_live_events_total",
+			"Kernel-boundary events delivered over SSE streams."),
+		oracleGapHist: tel.HistogramVec("harmonia_quality_oracle_gap",
+			"Sampled per-run ED2 regret vs the exhaustive oracle (0 = oracle-equal).",
+			oracleGapBuckets, "policy"),
+		misbinTotal: tel.CounterVec("harmonia_quality_misbin_total",
+			"Sensitivity bin mispredictions, by tunable and truth->predicted pair.", "tunable", "pair"),
+		binChecksTotal: tel.CounterVec("harmonia_quality_bin_checks_total",
+			"Sensitivity bin predictions checked against measured ground truth.", "tunable"),
+		churnHist: tel.HistogramVec("harmonia_quality_config_churn",
+			"Per-run hardware configuration transitions per kernel boundary.",
+			churnBuckets, "policy"),
+		ditherHist: tel.HistogramVec("harmonia_quality_fg_dither_depth",
+			"Per-run deepest fine-grain dither streak (consecutive fg reverts).",
+			ditherBuckets, "policy"),
+		qualActions: tel.CounterVec("harmonia_quality_actions_total",
+			"Controller actions observed at kernel boundaries, by source.", "policy", "action"),
+	}
+	s.qualityAgg = quality.NewAggregator()
+	if opts.QualityMaxSamples > 0 {
+		s.qualityEngine = sys.QualityEngine(opts.QualityMaxSamples, share)
 	}
 	s.runFn = s.sys.RunContext
 	if opts.runFn != nil {
@@ -444,6 +498,7 @@ func (s *Server) execute(j *job) {
 	}
 	s.logRun(j.run, now.Sub(started))
 	s.journalOutcome(j.run)
+	s.finishTimeline(j)
 }
 
 // logRun emits one structured line per finished run, carrying the trace
@@ -681,6 +736,9 @@ func (s *Server) buildMux() {
 	route("GET /v1/runs/{id}", "/v1/runs/{id}", s.handleGetRun)
 	route("GET /v1/runs/{id}/trace", "/v1/runs/{id}/trace", s.handleGetTrace)
 	route("GET /v1/runs/{id}/spans", "/v1/runs/{id}/spans", s.handleGetSpans)
+	route("GET /v1/runs/{id}/timeline", "/v1/runs/{id}/timeline", s.handleGetTimeline)
+	route("GET /v1/runs/{id}/live", "/v1/runs/{id}/live", s.handleLive)
+	route("GET /v1/stats/quality", "/v1/stats/quality", s.handleQualityStats)
 	route("GET /v1/apps", "/v1/apps", s.handleApps)
 	route("GET /v1/configs", "/v1/configs", s.handleConfigs)
 	route("GET /healthz", "/healthz", s.handleHealthz)
@@ -740,6 +798,12 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Unwrap exposes the wrapped writer to http.ResponseController so
+// streaming handlers (SSE) can reach the connection's Flusher.
+func (w *statusWriter) Unwrap() http.ResponseWriter {
+	return w.ResponseWriter
 }
 
 // logged emits one structured slog line per request, correlated with
@@ -925,9 +989,11 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 		run = s.reg.create(req.App, pol.Name())
 		rec := s.newRunTracer(r, run)
 		run.setTracer(rec)
+		tl := timeline.New()
+		run.setTimeline(tl)
 		s.retained.Set(float64(s.reg.size()))
 		s.journalSubmit(run.ID, req.App, &req, "")
-		j := s.newJob(jobCtx, run, app, pol, append(opts, harmonia.RunWithTrace(rec)))
+		j := s.newJob(jobCtx, run, app, pol, append(opts, harmonia.RunWithTrace(rec), harmonia.RunWithTimeline(tl)))
 		j.probe = probe
 		s.enqueue(j)
 	}()

@@ -19,6 +19,7 @@ import (
 	"harmonia/internal/policy"
 	"harmonia/internal/power"
 	"harmonia/internal/telemetry"
+	"harmonia/internal/timeline"
 	"harmonia/internal/trace"
 	"harmonia/internal/workloads"
 )
@@ -53,6 +54,15 @@ type Session struct {
 	// active phase. Like Telemetry, tracing is pure observation — a
 	// traced run's Report is bit-identical to an untraced one.
 	Tracer *trace.Recorder
+	// Timeline, when non-nil, flight-records the run: the DAQ power
+	// stream folded into bounded buckets, one decision record per
+	// kernel boundary (annotated by the policy when it implements
+	// timeline.Annotator), and configuration transitions. Policies
+	// implementing timeline.Attachable are attached at run start.
+	// Like Tracer, the recorder is pure observation — a recorded run's
+	// Report is bit-identical to an unrecorded one, and the disabled
+	// path costs one nil check per boundary.
+	Timeline *timeline.Recorder
 }
 
 // Telemetry metric families recorded by RunContext. The policy label is
@@ -162,6 +172,19 @@ func (s *Session) RunContext(ctx context.Context, app *workloads.Application) (*
 			Int("iterations", int64(app.Iterations))
 		defer runSpan.End()
 	}
+	tl := s.Timeline
+	var ann timeline.Annotator
+	if tl != nil {
+		tl.StartRun(app.Name, s.Policy.Name())
+		// Finish on every exit (including error returns) so live
+		// subscribers always see the stream terminate; Finish is
+		// idempotent and the serve layer may call it again.
+		defer tl.Finish()
+		if a, ok := s.Policy.(timeline.Attachable); ok {
+			a.AttachTimeline(tl)
+		}
+		ann, _ = s.Policy.(timeline.Annotator)
+	}
 	if err := app.Validate(); err != nil {
 		if ins.failed != nil {
 			ins.failed.Inc()
@@ -182,6 +205,9 @@ func (s *Session) RunContext(ctx context.Context, app *workloads.Application) (*
 	// The run count is known up front; growing the slice inside the
 	// kernel-boundary loop would reallocate log(n) times per session.
 	rep.Runs = make([]KernelRun, 0, app.Iterations*len(app.Kernels))
+	// sampleLo marks how much of the DAQ stream the timeline has
+	// already consumed; each boundary feeds it the fresh segment.
+	sampleLo := 0
 	for iter := 0; iter < app.Iterations; iter++ {
 		for _, k := range app.Kernels {
 			if err := ctx.Err(); err != nil {
@@ -267,6 +293,35 @@ func (s *Session) RunContext(ctx context.Context, app *workloads.Application) (*
 			rep.Runs = append(rep.Runs, KernelRun{
 				Kernel: k.Name, Iter: iter, Config: actual, Commanded: cfg, Result: res, Rails: rails,
 			})
+			if tl != nil {
+				// Power first, then the decision, so a live subscriber
+				// woken by the boundary event sees the power stream up
+				// to it. The decision carries the true physics (actual
+				// config, exact time/energy); the annotator — queried
+				// after Observe so it reflects this boundary's action —
+				// adds the policy's view.
+				all := rec.Samples()
+				tl.ObserveSamples(all[sampleLo:])
+				sampleLo = len(all)
+				endS := rec.Now()
+				d := timeline.Decision{
+					Kernel: k.Name, Iter: iter,
+					StartS: endS - res.Time, EndS: endS,
+					TimeS: res.Time, CardW: rails.Card(), EnergyJ: rails.Card() * res.Time,
+					Config: timeline.ConfigOf(actual), Commanded: timeline.ConfigOf(cfg),
+					VALUBusy: res.Counters.VALUBusy, MemUnitBusy: res.Counters.MemUnitBusy,
+				}
+				if ann != nil {
+					if det, ok := ann.TimelineDecision(k.Name, iter); ok {
+						d.Source, d.Proxy = det.Source, det.Proxy
+						if det.HaveBins {
+							b := timeline.BinsOf(det.Bins)
+							d.Bins = &b
+						}
+					}
+				}
+				tl.RecordDecision(d)
+			}
 			if ins.kernels != nil {
 				ins.kernels.Inc()
 				ins.simSeconds.Add(res.Time)

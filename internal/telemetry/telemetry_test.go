@@ -127,6 +127,40 @@ func TestLabelEscaping(t *testing.T) {
 	}
 }
 
+// TestExpositionBytePinned pins the complete rendered exposition —
+// byte for byte — for a registry whose labels and help text hold every
+// character the format escapes (backslash, double quote, newline).
+// Labeled quality families (misbin tunable/pair labels) ride on this
+// escaping; a renderer change that shifts a single byte must be
+// deliberate.
+func TestExpositionBytePinned(t *testing.T) {
+	r := New()
+	r.Counter("pin_plain_total", "plain help").Add(2)
+	r.CounterVec("pin_esc_total", `help with \ and`+"\nnewline", "path", "quote").
+		With(`C:\tmp`+"\nend", `say "hi"`).Inc()
+	r.HistogramVec("pin_hist", "h", []float64{0.5, 2}, "bin").With("LOW\\HIGH").Observe(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP pin_esc_total help with \\\\ and\\nnewline\n" +
+		"# TYPE pin_esc_total counter\n" +
+		"pin_esc_total{path=\"C:\\\\tmp\\nend\",quote=\"say \\\"hi\\\"\"} 1\n" +
+		"# HELP pin_hist h\n" +
+		"# TYPE pin_hist histogram\n" +
+		"pin_hist_bucket{bin=\"LOW\\\\HIGH\",le=\"0.5\"} 0\n" +
+		"pin_hist_bucket{bin=\"LOW\\\\HIGH\",le=\"2\"} 1\n" +
+		"pin_hist_bucket{bin=\"LOW\\\\HIGH\",le=\"+Inf\"} 1\n" +
+		"pin_hist_sum{bin=\"LOW\\\\HIGH\"} 1\n" +
+		"pin_hist_count{bin=\"LOW\\\\HIGH\"} 1\n" +
+		"# HELP pin_plain_total plain help\n" +
+		"# TYPE pin_plain_total counter\n" +
+		"pin_plain_total 2\n"
+	if got := b.String(); got != want {
+		t.Errorf("exposition bytes drifted:\n got: %q\nwant: %q", got, want)
+	}
+}
+
 func TestTypeMismatchPanics(t *testing.T) {
 	r := New()
 	r.Counter("dup", "h")

@@ -17,6 +17,12 @@
 #     box cannot speed up, but parallel bookkeeping must stay cheap).
 #     The old single serial/parallel pair recorded 1.17x for years
 #     without tripping anything; the explicit worker axis is the fix.
+#   - running a cached workload through the System with NO flight
+#     recorder attached costs more than 5% over driving the session
+#     directly (the recorder-off path is one nil check per kernel
+#     boundary; this gate keeps it that way). Recording overhead
+#     (recorder attached) is reported but not gated — bucketing every
+#     DAQ sample and appending a decision per boundary is real work.
 set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_sweep.json}"
@@ -31,6 +37,7 @@ out="${1:-BENCH_sweep.json}"
 oracle="$(go test -run '^$' -bench 'BenchmarkOracleSweep(Uncached|Cached)$' -benchtime 50x -benchmem .)"
 tracing="$(go test -run '^$' -bench 'BenchmarkCachedSweepMin(NilTraced)?$|BenchmarkOracleSweepCached(Traced)?$' -benchtime 200x -count 5 .)"
 suite="$(go test -run '^$' -bench 'BenchmarkSuite(Serial|Workers2|Workers4|Parallel)$' -benchtime 1x .)"
+timeline="$(go test -run '^$' -bench 'BenchmarkCachedRun(Base|TimelineOff|TimelineOn)$' -benchtime 100x -count 5 .)"
 
 min_ns() { # min_ns <output> <exact-benchmark-name>
 	printf '%s\n' "$1" | awk -v name="$2" '
@@ -46,6 +53,9 @@ plain_min="$(min_ns "$tracing" "BenchmarkCachedSweepMin")"
 nil_min="$(min_ns "$tracing" "BenchmarkCachedSweepMinNilTraced")"
 untraced_min="$(min_ns "$tracing" "BenchmarkOracleSweepCached")"
 traced_min="$(min_ns "$tracing" "BenchmarkOracleSweepCachedTraced")"
+run_base_min="$(min_ns "$timeline" "BenchmarkCachedRunBase")"
+run_off_min="$(min_ns "$timeline" "BenchmarkCachedRunTimelineOff")"
+run_on_min="$(min_ns "$timeline" "BenchmarkCachedRunTimelineOn")"
 serial="$(printf '%s\n' "$suite" | awk '$1 ~ /^BenchmarkSuiteSerial/ {print $3}')"
 workers2="$(printf '%s\n' "$suite" | awk '$1 ~ /^BenchmarkSuiteWorkers2/ {print $3}')"
 workers4="$(printf '%s\n' "$suite" | awk '$1 ~ /^BenchmarkSuiteWorkers4/ {print $3}')"
@@ -56,16 +66,18 @@ maxprocs="$(printf '%s\n' "$suite" | awk '$1 ~ /^BenchmarkSuiteParallel/ {
 
 if [ -z "$uncached" ] || [ -z "$cached" ] || [ -z "$serial" ] || [ -z "$parallel" ] ||
 	[ -z "$workers2" ] || [ -z "$workers4" ] || [ -z "$uncached_allocs" ] ||
-	[ -z "$plain_min" ] || [ -z "$nil_min" ] || [ -z "$untraced_min" ] || [ -z "$traced_min" ]; then
+	[ -z "$plain_min" ] || [ -z "$nil_min" ] || [ -z "$untraced_min" ] || [ -z "$traced_min" ] ||
+	[ -z "$run_base_min" ] || [ -z "$run_off_min" ] || [ -z "$run_on_min" ]; then
 	echo "bench.sh: failed to parse benchmark output" >&2
-	printf '%s\n%s\n%s\n' "$oracle" "$tracing" "$suite" >&2
+	printf '%s\n%s\n%s\n%s\n' "$oracle" "$tracing" "$suite" "$timeline" >&2
 	exit 1
 fi
 
 awk -v u="$uncached" -v ua="$uncached_allocs" -v ub="$uncached_bytes" \
 	-v c="$cached" -v s="$serial" -v w2="$workers2" -v w4="$workers4" -v p="$parallel" \
 	-v mp="$maxprocs" \
-	-v pm="$plain_min" -v nm="$nil_min" -v tu="$untraced_min" -v tt="$traced_min" -v out="$out" '
+	-v pm="$plain_min" -v nm="$nil_min" -v tu="$untraced_min" -v tt="$traced_min" \
+	-v rb="$run_base_min" -v ro="$run_off_min" -v rn="$run_on_min" -v out="$out" '
 BEGIN {
 	osp = u / c
 	ssp = s / p
@@ -73,6 +85,8 @@ BEGIN {
 	sp4 = s / w4
 	disabled = nm / pm - 1
 	enabled = tt / tu - 1
+	tloff = ro / rb - 1
+	tlrec = rn / ro - 1
 	# Machine-aware scaling floor: an honest 3x at 4 workers needs 4
 	# CPUs; on a starved box the gate only bounds the bookkeeping cost.
 	floor4 = (mp >= 4) ? 3.0 : 0.75
@@ -93,6 +107,13 @@ BEGIN {
 	printf "    \"oracle_traced_ns_op\": %.0f,\n", tt >> out
 	printf "    \"enabled_overhead\": %.4f\n", enabled >> out
 	printf "  },\n" >> out
+	printf "  \"timeline\": {\n" >> out
+	printf "    \"run_base_ns_op\": %.0f,\n", rb >> out
+	printf "    \"run_recorder_off_ns_op\": %.0f,\n", ro >> out
+	printf "    \"recorder_off_overhead\": %.4f,\n", tloff >> out
+	printf "    \"run_recorder_on_ns_op\": %.0f,\n", rn >> out
+	printf "    \"recording_overhead\": %.4f\n", tlrec >> out
+	printf "  },\n" >> out
 	printf "  \"suite\": {\n" >> out
 	printf "    \"serial_ns_op\": %.0f,\n", s >> out
 	printf "    \"workers2_ns_op\": %.0f,\n", w2 >> out
@@ -107,6 +128,8 @@ BEGIN {
 	printf "oracle sweep:    %.0f ns/op uncached (%.0f allocs/op), %.0f ns/op cached (%.1fx)\n", u, ua, c, osp
 	printf "tracing (off):   %.0f ns/op plain, %.0f ns/op nil-traced (%+.1f%%)\n", pm, nm, disabled * 100
 	printf "tracing (live):  %.0f ns/op untraced, %.0f ns/op traced (%+.1f%%)\n", tu, tt, enabled * 100
+	printf "timeline (off):  %.0f ns/op base, %.0f ns/op recorder-off (%+.1f%%)\n", rb, ro, tloff * 100
+	printf "timeline (live): %.0f ns/op recorder-on (%+.1f%% over off)\n", rn, tlrec * 100
 	printf "suite scaling:   1w %.0f, 2w %.0f (%.2fx), 4w %.0f (%.2fx), %dw %.0f (%.2fx)\n", s, w2, sp2, w4, sp4, mp, p, ssp
 	if (osp < 5) {
 		printf "bench.sh: cached oracle sweep speedup %.2fx is below the 5x gate\n", osp > "/dev/stderr"
@@ -117,6 +140,12 @@ BEGIN {
 	# overhead is recorded but not gated — recording spans does real work.
 	if (disabled > 0.05) {
 		printf "bench.sh: disabled-tracing overhead %.1f%% on the cached sweep exceeds the 5%% gate\n", disabled * 100 > "/dev/stderr"
+		exit 1
+	}
+	# The flight-recorder gate from DESIGN.md section 14: a run with the
+	# recorder left off must cost the same as a bare session drive.
+	if (tloff > 0.05) {
+		printf "bench.sh: recorder-off overhead %.1f%% on the cached run exceeds the 5%% gate\n", tloff * 100 > "/dev/stderr"
 		exit 1
 	}
 	# The gates from DESIGN.md section 13: the allocation budget of the

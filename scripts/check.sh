@@ -53,6 +53,10 @@ go test -race -count=1 ./internal/serve/... ./internal/telemetry/...
 # debug handler.
 go test -count=1 -run 'TestGetSpans|TestTraceparentAdopted|TestRequestIDMintedAndEchoed|TestDebugHandler' ./internal/serve/
 go test -count=1 -run 'TestTracedRunBitIdentical|TestSameSeedSpanTreesByteIdentical' .
+# Flight-recorder smoke: recorder inertness and same-seed timeline
+# byte-identity (the determinism the /v1/runs/{id}/timeline contract
+# rests on).
+go test -count=1 -run 'TestTimelineRunBitIdentical|TestSameSeedTimelinesByteIdentical' .
 # Hot-path equivalence gates: the hoisted gpusim invariants must stay
 # bit-exact against the embedded golden float bits, budgeted nested
 # parallelism must reproduce the serial pipeline byte for byte, and the
